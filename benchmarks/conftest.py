@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series next to the paper's reference
+numbers.  Because the substrate is a simulator (not the authors'
+hardware testbed), the *shapes* — who wins, by what factor, where the
+crossovers are — are the reproduction target, not absolute values.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``: float multiplier on workload sizes (default 1.0
+  uses CI-friendly sizes; the full paper-scale run is noted per bench).
+* ``REPRO_BENCH_SEED``: base RNG seed (default 2015).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Workload scale factor from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_seed() -> int:
+    """Base seed from the environment."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "2015"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return bench_seed()
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

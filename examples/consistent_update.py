@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Consistent network updates with and without Monocle (§8.1.2).
+
+Triangle topology s1-s2-s3 with hosts H1 (at s1) and H2 (at s2); 30
+UDP flows run at 300 packets/s each along s1->s2.  We then reroute all
+flows to s1->s3->s2 with a two-phase consistent update.  The probed
+switch s3 emulates a Pica8: it acknowledges rules *before* the data
+plane installs them, so trusting barriers blackholes traffic; waiting
+for Monocle's acknowledgments does not.
+
+Run:  python examples/consistent_update.py
+"""
+
+from repro import MonitorConfig, MonocleSystem, Network, Rule, Simulator
+from repro.controller import ConfirmMode, ConsistentPathUpdate, SdnController
+from repro.network.traffic import FlowSpec, TrafficGenerator, decode_flow_payload
+from repro.openflow.actions import output
+from repro.openflow.match import Match
+from repro.switches.profiles import OVS, PICA8
+from repro.topology.generators import triangle
+
+NUM_FLOWS = 30
+RATE = 300.0
+
+
+def run(use_monocle: bool):
+    sim = Simulator()
+    net = Network(
+        sim, triangle(), profiles=lambda n: PICA8 if n == "s3" else OVS, seed=99
+    )
+    h1 = net.add_host("h1", "s1")
+    h2 = net.add_host("h2", "s2")
+
+    if use_monocle:
+        box = {}
+        system = MonocleSystem(
+            net,
+            config=MonitorConfig(update_probe_interval=0.005),
+            dynamic=True,
+            controller_handler=lambda n, m: box["c"].handle_message(n, m),
+        )
+        controller = SdnController(sim, send=system.send_to_switch)
+        box["c"] = controller
+        confirm = ConfirmMode.MONOCLE_ACK
+        install = system.preinstall_production_rule
+    else:
+        controller = SdnController(
+            sim, send=lambda n, m: net.channel(n).send_down(m)
+        )
+        for node in net.switches:
+            net.channel(node).up_handler = (
+                lambda m, n=node: controller.handle_message(n, m)
+            )
+        confirm = ConfirmMode.BARRIER
+
+        def install(node, rule):
+            net.switch(node).install_directly(rule)
+
+    flows = []
+    for i in range(NUM_FLOWS):
+        match = Match.build(dl_type=0x0800, nw_proto=17, nw_dst=0x0A000100 + i)
+        install(
+            "s1",
+            Rule(priority=50, match=match, actions=output(net.port_toward["s1"]["s2"])),
+        )
+        install(
+            "s2",
+            Rule(priority=50, match=match, actions=output(net.port_toward["s2"]["h2"])),
+        )
+        spec = FlowSpec(
+            flow_id=i,
+            header_fields=(
+                ("dl_type", 0x0800),
+                ("nw_proto", 17),
+                ("nw_dst", 0x0A000100 + i),
+            ),
+        )
+        generator = TrafficGenerator(sim, h1, spec, rate=RATE)
+        generator.start(jitter=i / (RATE * NUM_FLOWS))
+        flows.append((match, generator))
+
+    sim.run_for(0.2)
+
+    updates = []
+    for i, (match, _gen) in enumerate(flows):
+        update = ConsistentPathUpdate(
+            controller=controller,
+            match=match,
+            priority=50,
+            old_path=["s1", "s2"],
+            new_path=["s1", "s3", "s2"],
+            port_toward=net.port_toward,
+            final_port=net.port_toward["s2"]["h2"],
+            confirm=confirm,
+        )
+        update.start()
+        updates.append(update)
+
+    sim.run_for(4.0)
+    for _match, generator in flows:
+        generator.stop()
+    sim.run_for(0.3)
+
+    per_flow_received = {}
+    for packet in h2.received:
+        decoded = decode_flow_payload(packet.payload)
+        if decoded is not None:
+            per_flow_received.setdefault(decoded[0], set()).add(decoded[1])
+
+    sent = h1.sent_count
+    received = sum(len(s) for s in per_flow_received.values())
+    lost = sent - received
+    done = sum(1 for u in updates if u.done)
+    return sent, lost, done
+
+
+def main():
+    for label, use_monocle in (("barriers", False), ("Monocle", True)):
+        sent, lost, done = run(use_monocle)
+        print(
+            f"{label:>9}: {done}/{NUM_FLOWS} updates completed, "
+            f"{sent} packets sent, {lost} lost "
+            f"({100.0 * lost / sent:.2f}%)"
+        )
+    print(
+        "\nWith barriers the Pica8-like switch acknowledges rules before\n"
+        "installing them, so the ingress flips early and packets fall into\n"
+        "a transient blackhole.  Monocle's acknowledgments are grounded in\n"
+        "data-plane probes, so the update is genuinely consistent."
+    )
+
+
+if __name__ == "__main__":
+    main()

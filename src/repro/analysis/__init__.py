@@ -1,0 +1,6 @@
+"""Experiment analysis helpers: CDFs, summaries, table rendering."""
+
+from repro.analysis.stats import Cdf, summarize
+from repro.analysis.tables import format_table
+
+__all__ = ["Cdf", "summarize", "format_table"]

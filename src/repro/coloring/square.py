@@ -1,0 +1,28 @@
+"""The strategy-2 graph transform (paper §6).
+
+For the two-reserved-field scheme, switches sharing a common neighbor
+must also receive distinct identifiers.  The paper's recipe: "for each
+switch, we add fake edges between all pairs of its peers, essentially
+adding a clique to the graph" — i.e. color the square of the graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+
+def square_graph(graph: nx.Graph) -> nx.Graph:
+    """Graph with an added clique over every node's neighborhood.
+
+    The result has the same nodes; two nodes are adjacent iff they are
+    adjacent in ``graph`` or share a neighbor.
+    """
+    squared = nx.Graph()
+    squared.add_nodes_from(graph.nodes)
+    squared.add_edges_from(graph.edges)
+    for node in graph.nodes:
+        for u, v in itertools.combinations(graph.neighbors(node), 2):
+            squared.add_edge(u, v)
+    return squared

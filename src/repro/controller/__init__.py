@@ -1,0 +1,19 @@
+"""Reference SDN controller.
+
+The paper's evaluation drives switches with a controller performing path
+installation and two-phase consistent updates ([19]); Monocle's value is
+giving that controller *truthful* installation feedback.  This package
+provides:
+
+* :class:`~repro.controller.controller.SdnController` — rule and path
+  installation with three confirmation modes: none, OpenFlow barriers,
+  or Monocle acknowledgments.
+* :class:`~repro.controller.updates.ConsistentPathUpdate` — the §8.1.2
+  two-phase reroute: install the new downstream rule(s), wait for
+  confirmation, then flip the ingress rule.
+"""
+
+from repro.controller.controller import ConfirmMode, SdnController
+from repro.controller.updates import ConsistentPathUpdate
+
+__all__ = ["ConfirmMode", "SdnController", "ConsistentPathUpdate"]

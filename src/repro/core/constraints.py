@@ -1,0 +1,313 @@
+"""Compiling the paper's probe constraints (Table 1) to CNF.
+
+The probe packet ``P`` is a vector of abstract header bits; SAT variable
+``i+1`` holds bit ``i``.  Auxiliary (Tseitin) variables are allocated on
+top.  Three constraints are compiled for a probed rule:
+
+* **Hit** — ``Matches(P, Rprobed)`` as unit clauses, and
+  ``not Matches(P, R)`` for each higher-priority overlapping rule as one
+  clause of negated bit literals.
+* **Distinguish** — the priority-ordered if-then-else chain over
+  lower-priority overlapping rules.  Branch guards are
+  ``Matches(P, R_k)`` (Tseitin AND), branch values are
+  ``DiffOutcome(P, Rprobed, R_k)``.  Two encodings are provided:
+  the *asserted chain* (linear; exploits that Monocle always asserts the
+  chain true) and the appendix's *Velev* quadratic ITE encoding, kept
+  for the encoding ablation.
+* **Collect** — ``Matches(P, Rcatch)`` as unit clauses.
+
+``DiffOutcome`` is ``DiffPorts | DiffRewrite`` (§3.2–3.4):
+``DiffPorts`` is decided during compilation (pure set logic on
+forwarding sets, with the multicast-vs-ECMP probe-counting exception);
+``DiffRewrite`` becomes per-bit terms per Table 4, OR-ed across the
+common ports for multicast pairs and AND-ed when ECMP is involved.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.openflow.actions import OutcomeKind
+from repro.openflow.fields import HEADER, FieldName
+from repro.openflow.match import Match
+from repro.openflow.rule import Rule
+from repro.sat.cnf import CNF, Lit
+from repro.sat.encode import clause_and, clause_or, constant, ite_chain
+
+
+class DistinguishEncoding(str, enum.Enum):
+    """Which CNF encoding to use for the Distinguish ITE chain."""
+
+    ASSERTED_CHAIN = "asserted_chain"
+    VELEV_ITE = "velev_ite"
+
+
+class ConstraintCompiler:
+    """Compiles Table 1 constraints for one probed rule into a CNF.
+
+    Variables ``1 .. HEADER_BITS`` are the abstract header bits in layout
+    order (variable ``i`` is bit ``i-1``); everything above is Tseitin.
+    """
+
+    def __init__(
+        self,
+        encoding: DistinguishEncoding = DistinguishEncoding.ASSERTED_CHAIN,
+    ) -> None:
+        self.encoding = encoding
+        self.cnf = CNF(HEADER.total_bits)
+
+    # ----- bit-level helpers ---------------------------------------------
+
+    @staticmethod
+    def bit_var(bit_index: int) -> int:
+        """SAT variable holding abstract header bit ``bit_index``."""
+        return bit_index + 1
+
+    def match_literals(self, match: Match) -> list[Lit]:
+        """Literals whose conjunction is ``Matches(P, match)`` (Table 3)."""
+        literals = []
+        for bit_index, required in match.bit_constraints():
+            var = self.bit_var(bit_index)
+            literals.append(var if required else -var)
+        return literals
+
+    def assert_matches(self, match: Match) -> None:
+        """Add ``Matches(P, match)`` as unit clauses."""
+        for lit in self.match_literals(match):
+            self.cnf.add_unit(lit)
+
+    def assert_not_matches(self, match: Match) -> None:
+        """Add ``not Matches(P, match)`` as a single clause.
+
+        An all-wildcard match yields the empty clause (UNSAT) — correctly
+        so: no packet can avoid matching a wildcard rule.
+        """
+        self.cnf.add_clause([-lit for lit in self.match_literals(match)])
+
+    def matches_lit(self, match: Match) -> Lit:
+        """Fresh literal equivalent to ``Matches(P, match)``."""
+        return clause_and(self.cnf, self.match_literals(match))
+
+    def assert_value_in(self, name: FieldName, values: Sequence[int]) -> None:
+        """Constrain a field to a small domain (e.g. valid in_ports).
+
+        Encoded as a Tseitin OR of per-value conjunctions.
+        """
+        field = HEADER.field(name)
+        options = []
+        for value in values:
+            literals = []
+            for bit_in_field in range(field.width):
+                bit_mask = 1 << (field.width - 1 - bit_in_field)
+                var = self.bit_var(field.offset + bit_in_field)
+                literals.append(var if value & bit_mask else -var)
+            options.append(clause_and(self.cnf, literals))
+        self.cnf.add_clause(options)
+
+    # ----- DiffOutcome ------------------------------------------------------
+
+    def diff_outcome(self, probed: Rule, other: Rule | None) -> bool | Lit:
+        """``DiffOutcome(P, probed, other)``: bool if decidable now, else Lit.
+
+        ``other=None`` denotes the table-miss pseudo-rule (a drop under
+        the default miss policy); callers modelling a controller-bound
+        miss should pass an explicit rule.
+        """
+        if other is None:
+            # Table miss drops: distinguishable iff probed isn't a drop.
+            return probed.outcome_kind() != OutcomeKind.DROP
+
+        ports_differ = self._diff_ports(probed, other)
+        if ports_differ:
+            return True
+        return self._diff_rewrite(probed, other)
+
+    @staticmethod
+    def _diff_ports(rule1: Rule, rule2: Rule) -> bool:
+        """§3.4 DiffPorts over forwarding sets (drop/unicast are 0/1-sets)."""
+        f1 = rule1.forwarding_set()
+        f2 = rule2.forwarding_set()
+        ecmp1 = rule1.actions.is_ecmp
+        ecmp2 = rule2.actions.is_ecmp
+
+        if not ecmp1 and not ecmp2:
+            return f1 != f2
+        if ecmp1 and ecmp2:
+            return not (f1 & f2)
+        # One multicast-like (deterministic) and one ECMP: location
+        # distinguishes iff the deterministic rule can emit outside the
+        # ECMP set; counting distinguishes when it emits != 1 packets.
+        multi = f1 if not ecmp1 else f2
+        ecmp_set = f2 if not ecmp1 else f1
+        return bool(multi - ecmp_set) or len(multi) != 1
+
+    def _diff_rewrite(self, rule1: Rule, rule2: Rule) -> bool | Lit:
+        """§3.4 DiffRewrite restricted to the common forwarding ports."""
+        f1 = rule1.forwarding_set()
+        f2 = rule2.forwarding_set()
+        common = f1 & f2
+        if not common:
+            # Drop rules land here (empty sets): rewrites are meaningless
+            # (paper footnote 2), and DiffPorts already said "equal".
+            return False
+        any_ecmp = rule1.actions.is_ecmp or rule2.actions.is_ecmp
+
+        per_port: list[bool | list[Lit]] = []
+        for port in sorted(common):
+            per_port.append(
+                self._per_port_rewrite_terms(
+                    rule1.actions.rewrites_on_port(port),
+                    rule2.actions.rewrites_on_port(port),
+                )
+            )
+
+        if not any_ecmp:
+            # Both deterministic: EXISTS a common port with a difference.
+            all_literals: list[Lit] = []
+            for terms in per_port:
+                if terms is True:
+                    return True
+                all_literals.extend(terms)
+            if not all_literals:
+                return False
+            return clause_or(self.cnf, all_literals)
+
+        # ECMP involved: difference required on EVERY common port.
+        port_lits: list[Lit] = []
+        for terms in per_port:
+            if terms is True:
+                continue
+            if not terms:
+                return False
+            port_lits.append(clause_or(self.cnf, terms))
+        if not port_lits:
+            return True  # every common port had a constant difference
+        return clause_and(self.cnf, port_lits)
+
+    def _per_port_rewrite_terms(
+        self,
+        rewrites1: dict[FieldName, int],
+        rewrites2: dict[FieldName, int],
+    ) -> bool | list[Lit]:
+        """Table 4 bit terms for one port.
+
+        Returns True when a constant difference exists (both rules pin
+        the same bit to different values), otherwise the list of literals
+        whose disjunction says "some bit is rewritten differently".
+        """
+        literals: list[Lit] = []
+        for name in set(rewrites1) | set(rewrites2):
+            field = HEADER.field(name)
+            in1 = name in rewrites1
+            in2 = name in rewrites2
+            if in1 and in2:
+                if rewrites1[name] != rewrites2[name]:
+                    return True
+                continue  # identical rewrites: no difference from this field
+            fixed = rewrites1[name] if in1 else rewrites2[name]
+            # One rule pins the field, the other passes P through: the
+            # outcomes differ iff P disagrees with the pinned value on
+            # some bit (rows */0, */1, 0/*, 1/* of Table 4).
+            for bit_in_field in range(field.width):
+                bit_mask = 1 << (field.width - 1 - bit_in_field)
+                var = self.bit_var(field.offset + bit_in_field)
+                literals.append(-var if fixed & bit_mask else var)
+        return literals
+
+    # ----- Distinguish ------------------------------------------------------
+
+    def assert_distinguish(
+        self,
+        probed: Rule,
+        lower_rules: Sequence[Rule],
+        miss_rule: Rule | None = None,
+    ) -> None:
+        """Assert the Distinguish constraint.
+
+        Args:
+            probed: the rule being probed.
+            lower_rules: overlapping rules with priority strictly below
+                ``probed``, in any order (sorted internally).
+            miss_rule: optional explicit table-miss pseudo-rule; None
+                means miss-drops.
+        """
+        ordered = sorted(lower_rules, key=lambda r: -r.priority)
+        guards_and_values: list[tuple[list[Lit], bool | Lit]] = []
+        for rule in ordered:
+            guards_and_values.append(
+                (self.match_literals(rule.match), self.diff_outcome(probed, rule))
+            )
+        else_value = self.diff_outcome(probed, miss_rule)
+
+        if self.encoding is DistinguishEncoding.ASSERTED_CHAIN:
+            self._assert_chain_direct(guards_and_values, else_value)
+        else:
+            self._assert_chain_velev(guards_and_values, else_value)
+
+    def _assert_chain_direct(
+        self,
+        guards_and_values: list[tuple[list[Lit], bool | Lit]],
+        else_value: bool | Lit,
+    ) -> None:
+        """Linear encoding of ``If(m1,d1, If(m2,d2, ... else)) = True``.
+
+        For each branch ``k``:  ``(m1 | ... | m_{k-1} | !m_k | d_k)``;
+        for the else branch:    ``(m1 | ... | m_n | else)``.
+        Guards appearing positively use a Tseitin AND literal; the
+        negated guard ``!m_k`` expands to the clause of negated bit
+        literals directly (no auxiliary variable needed).
+        """
+        prefix_lits: list[Lit] = []
+        for guard_literals, value in guards_and_values:
+            if value is not True:
+                # Clause: earlier guard true, OR this guard false, OR value.
+                clause = list(prefix_lits)
+                clause.extend(-lit for lit in guard_literals)
+                if value is not False:
+                    clause.append(value)
+                self.cnf.add_clause(clause)
+            prefix_lits.append(clause_and(self.cnf, guard_literals))
+        if else_value is not True:
+            clause = list(prefix_lits)
+            if else_value is not False:
+                clause.append(else_value)
+            self.cnf.add_clause(clause)
+
+    def _assert_chain_velev(
+        self,
+        guards_and_values: list[tuple[list[Lit], bool | Lit]],
+        else_value: bool | Lit,
+    ) -> None:
+        """Appendix B encoding: build the ITE chain with fresh variables
+        via the quadratic Velev construction, then assert its output."""
+        branches = []
+        for guard_literals, value in guards_and_values:
+            guard_lit = clause_and(self.cnf, guard_literals)
+            value_lit = (
+                constant(self.cnf, value) if isinstance(value, bool) else value
+            )
+            branches.append((guard_lit, value_lit))
+        else_lit = (
+            constant(self.cnf, else_value)
+            if isinstance(else_value, bool)
+            else else_value
+        )
+        result = ite_chain(self.cnf, branches, else_lit)
+        self.cnf.add_unit(result)
+
+    # ----- solution decoding ---------------------------------------------
+
+    @staticmethod
+    def decode_assignment(assignment: dict[int, bool]) -> dict[FieldName, int]:
+        """Abstract header values from a satisfying assignment."""
+        values: dict[FieldName, int] = {}
+        for field in HEADER:
+            value = 0
+            for bit_in_field in range(field.width):
+                value <<= 1
+                var = field.offset + bit_in_field + 1
+                if assignment.get(var, False):
+                    value |= 1
+            values[field.name] = value
+        return values

@@ -1,0 +1,374 @@
+"""Dynamic (reconfiguration) monitoring — paper §4.
+
+:class:`DynamicMonitor` wraps a :class:`~repro.core.monitor.Monitor` and
+intercepts FlowMods on their way to the switch:
+
+* **additions** are probed like steady-state rules, assuming the rule is
+  installed; transient absence is tolerated (no alarm) and the update is
+  acknowledged to the controller the moment a probe confirms the rule in
+  the data plane (§4.1).
+* **deletions** use the same probe but are confirmed when the probe
+  starts hitting the underlying lower-priority outcome (§4.1).
+* **modifications** use the altered-table construction: lower-priority
+  rules removed, the original rule re-inserted one priority level below
+  the new version, then standard probe generation (§4.1).
+* FlowMods whose match overlaps a yet-unconfirmed update are **queued**
+  until that update confirms (§4.2's implementation choice).
+* optional **drop-postponing** (§4.3) converts drop-rule additions into
+  a tag-and-forward stand-in that is positively confirmable, then swaps
+  the real drop in after the acknowledgment.
+
+Confirmations are surfaced both as an :class:`UpdateAck` control message
+sent to the controller and through an ``on_confirmed`` callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.droppostpone import finalize_drop_rule, postpone_drop_rule
+from repro.core.monitor import (
+    Monitor,
+    OutstandingProbe,
+    outcome_observations,
+)
+from repro.core.probegen import ProbeResult, expected_outcomes
+from repro.openflow.messages import FlowMod, FlowModCommand, Message, next_xid
+from repro.openflow.rule import Rule
+from repro.openflow.table import FlowTable
+
+
+@dataclass
+class UpdateAck(Message):
+    """Monocle -> controller: the update is provably in the data plane."""
+
+    flowmod_xid: int = 0
+    switch_number: int = 0
+
+
+@dataclass
+class PendingUpdate:
+    """One FlowMod being confirmed."""
+
+    mod: FlowMod
+    started: float
+    #: Probes that must all confirm (non-strict deletes may need several).
+    remaining: int
+    confirmed: bool = False
+    gave_up: bool = False
+    #: For drop-postponing: the finalize FlowMod to send after confirm.
+    finalize: FlowMod | None = None
+
+
+class DynamicMonitor:
+    """Per-switch update confirmation layered over a Monitor."""
+
+    def __init__(
+        self,
+        monitor: Monitor,
+        on_confirmed: Callable[[FlowMod], None] | None = None,
+        send_ack: bool = True,
+        use_drop_postponing: bool = False,
+        drop_postpone_port: int | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.sim = monitor.sim
+        self.on_confirmed = on_confirmed
+        self.send_ack = send_ack
+        self.use_drop_postponing = use_drop_postponing
+        self.drop_postpone_port = drop_postpone_port
+        self.pending: list[PendingUpdate] = []
+        self.queue: list[FlowMod] = []
+        self.updates_confirmed = 0
+        self.updates_given_up = 0
+
+    # ----- controller-facing entry point ------------------------------------
+
+    def from_controller(self, msg: Message) -> None:
+        """Intercept FlowMods; pass everything else through."""
+        if not isinstance(msg, FlowMod):
+            self.monitor.from_controller(msg)
+            return
+        if self._overlaps_unconfirmed(msg):
+            self.queue.append(msg)
+            return
+        self._start_update(msg)
+
+    def _overlaps_unconfirmed(self, mod: FlowMod) -> bool:
+        for update in self.pending:
+            if not update.confirmed and update.mod.match.overlaps(mod.match):
+                return True
+        for queued in self.queue:
+            if queued.match.overlaps(mod.match):
+                return True
+        return False
+
+    # ----- update lifecycle ------------------------------------------------
+
+    def _start_update(self, mod: FlowMod) -> None:
+        command = mod.command
+        if command is FlowModCommand.ADD:
+            self._start_add(mod)
+        elif command in (FlowModCommand.MODIFY, FlowModCommand.MODIFY_STRICT):
+            self._start_modify(mod)
+        elif command in (FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT):
+            self._start_delete(mod)
+        else:  # pragma: no cover - enum is exhaustive
+            self.monitor.from_controller(mod)
+
+    def _start_add(self, mod: FlowMod) -> None:
+        if (
+            self.use_drop_postponing
+            and not mod.actions.forwarding_set()
+            and self.drop_postpone_port is not None
+        ):
+            self._start_postponed_drop(mod)
+            return
+        # Track in the expected table and forward to the switch.
+        self.monitor.from_controller(mod)
+        rule = self.monitor.expected.get(mod.priority, mod.match)
+        assert rule is not None
+        update = PendingUpdate(mod=mod, started=self.sim.now, remaining=1)
+        self.pending.append(update)
+        result = self.monitor.probe_for_rule(rule)
+        if not result.ok:
+            # Unmonitorable update: acknowledge optimistically but count it.
+            self._confirm_piece(update, monitorable=False)
+            return
+        self._probe_until_confirmed(update, result, confirm_on="present")
+
+    def _start_postponed_drop(self, mod: FlowMod) -> None:
+        """§4.3: install a tag-and-forward stand-in, confirm, then drop."""
+        rule = Rule(
+            priority=mod.priority,
+            match=mod.match,
+            actions=mod.actions,
+            cookie=mod.cookie,
+        )
+        stand_in = postpone_drop_rule(rule, self.drop_postpone_port)
+        stand_in_mod = FlowMod(
+            xid=mod.xid,
+            command=FlowModCommand.ADD,
+            match=stand_in.match,
+            priority=stand_in.priority,
+            actions=stand_in.actions,
+            cookie=stand_in.cookie,
+        )
+        finalize = FlowMod(
+            xid=next_xid(),
+            command=FlowModCommand.MODIFY_STRICT,
+            match=rule.match,
+            priority=rule.priority,
+            actions=finalize_drop_rule(stand_in).actions,
+            cookie=rule.cookie,
+        )
+        self.monitor.from_controller(stand_in_mod)
+        tracked = self.monitor.expected.get(stand_in.priority, stand_in.match)
+        assert tracked is not None
+        update = PendingUpdate(
+            mod=mod, started=self.sim.now, remaining=1, finalize=finalize
+        )
+        self.pending.append(update)
+        result = self.monitor.probe_for_rule(tracked)
+        if not result.ok:
+            self._confirm_piece(update, monitorable=False)
+            return
+        self._probe_until_confirmed(update, result, confirm_on="present")
+
+    def _start_modify(self, mod: FlowMod) -> None:
+        old_rule = self.monitor.expected.get(mod.priority, mod.match)
+        if old_rule is None:
+            # OF 1.0: modify with no match behaves like add.
+            self._start_add(mod)
+            return
+        new_rule = old_rule.with_actions(mod.actions)
+        result = self._modification_probe(old_rule, new_rule)
+        self.monitor.from_controller(mod)
+        update = PendingUpdate(mod=mod, started=self.sim.now, remaining=1)
+        self.pending.append(update)
+        if result is None or not result.ok:
+            self._confirm_piece(update, monitorable=False)
+            return
+        self._probe_until_confirmed(update, result, confirm_on="present")
+
+    def _modification_probe(
+        self, old_rule: Rule, new_rule: Rule
+    ) -> ProbeResult | None:
+        """The §4.1 altered-table construction.
+
+        Copy the expected table, drop all rules with lower priority,
+        reinsert the old version one priority level below, and run
+        standard probe generation for the new version.
+        """
+        if old_rule.priority == 0:
+            return None  # cannot demote below priority 0
+        altered = FlowTable(check_overlap=False)
+        for rule in self.monitor.expected:
+            if rule.priority > old_rule.priority:
+                altered.install(rule)
+        altered.install(new_rule)
+        altered.install(old_rule.with_priority(old_rule.priority - 1))
+        return self.monitor.generator.generate(altered, new_rule)
+
+    def _start_delete(self, mod: FlowMod) -> None:
+        # Identify the doomed rules *before* updating the expected table.
+        if mod.command is FlowModCommand.DELETE_STRICT:
+            target = self.monitor.expected.get(mod.priority, mod.match)
+            doomed = [target] if target is not None else []
+        else:
+            doomed = [
+                r
+                for r in self.monitor.expected.rules()
+                if mod.match.covers(r.match)
+            ]
+        probes: list[ProbeResult] = []
+        for rule in doomed:
+            probes.append(self.monitor.probe_for_rule(rule))
+        self.monitor.from_controller(mod)
+        update = PendingUpdate(
+            mod=mod, started=self.sim.now, remaining=max(1, len(doomed))
+        )
+        self.pending.append(update)
+        if not doomed:
+            self._confirm_piece(update, monitorable=False)
+            return
+        monitorable = 0
+        for result in probes:
+            if result.ok:
+                monitorable += 1
+                self._probe_until_confirmed(update, result, confirm_on="absent")
+        unmonitorable = len(doomed) - monitorable
+        for _ in range(unmonitorable):
+            self._confirm_piece(update, monitorable=False)
+
+    # ----- probe-until-confirmed loop ----------------------------------------
+
+    #: Re-injection backoff cap: when a switch's control queue is backed
+    #: up (large batched updates, §8.4), probing every few ms would
+    #: flood the channel; the interval doubles up to this bound.
+    MAX_PROBE_INTERVAL = 0.050
+
+    def _probe_until_confirmed(
+        self, update: PendingUpdate, result: ProbeResult, confirm_on: str
+    ) -> None:
+        """Keep probing until the data plane reflects the update.
+
+        Positive confirmation (the new state is observable): one
+        long-lived probe re-injected on a timer — starting at
+        ``update_probe_interval`` and backing off 2x up to
+        MAX_PROBE_INTERVAL — until a catch confirms it or the update
+        deadline passes.  Fresh installs confirm within a few ms of the
+        data plane changing; backlogged ones are polled gently so
+        probes don't flood the already-congested control channel.
+
+        Negative confirmation (the new state is a drop: silence is the
+        only signal): repeated short timeout rounds — probes returning
+        with the *old* state restart the round (transient tolerance);
+        a fully quiet round confirms.  This inherits negative probing's
+        false-positive caveat (§3.3); enable drop-postponing (§4.3) for
+        the reliable variant.
+        """
+        config = self.monitor.config
+        target_obs = (
+            outcome_observations(
+                result.outcome_present, self.monitor.observable_ports
+            )
+            if confirm_on == "present"
+            else outcome_observations(
+                result.outcome_absent, self.monitor.observable_ports
+            )
+        )
+
+        def confirmed(_probe: OutstandingProbe) -> None:
+            self._confirm_piece(update, monitorable=True)
+
+        if target_obs:
+            def gave_up(_probe: OutstandingProbe, _kind: str) -> None:
+                if update.confirmed or update.gave_up:
+                    return
+                update.gave_up = True
+                self.updates_given_up += 1
+
+            self.monitor.launch_probe(
+                result,
+                confirm_on=confirm_on,
+                on_confirm=confirmed,
+                on_alarm=gave_up,
+                retry_interval=config.update_probe_interval,
+                retries=-1,
+                timeout=config.update_deadline,
+                retry_backoff=2.0,
+                max_retry_interval=self.MAX_PROBE_INTERVAL,
+                tolerate_anti=True,
+            )
+            return
+
+        # Negative path: short rounds, relaunch on any contrary signal.
+        attempt = [0]
+
+        def relaunch(_probe: OutstandingProbe, _kind: str) -> None:
+            if update.confirmed or update.gave_up:
+                return
+            if self.sim.now - update.started > config.update_deadline:
+                update.gave_up = True
+                self.updates_given_up += 1
+                return
+            attempt[0] += 1
+            delay = min(
+                config.update_probe_interval * (2 ** attempt[0]),
+                self.MAX_PROBE_INTERVAL,
+            )
+            self.sim.schedule(delay, launch)
+
+        def launch() -> None:
+            if update.confirmed or update.gave_up:
+                return
+            self.monitor.launch_probe(
+                result,
+                confirm_on=confirm_on,
+                on_confirm=confirmed,
+                on_alarm=relaunch,
+            )
+
+        launch()
+
+    def _confirm_piece(self, update: PendingUpdate, monitorable: bool) -> None:
+        update.remaining -= 1
+        if update.remaining > 0 or update.confirmed:
+            return
+        update.confirmed = True
+        self.updates_confirmed += 1
+        if update.finalize is not None:
+            # Drop-postponing: swap the real drop rule in (§4.3).
+            self.monitor.from_controller(update.finalize)
+        if self.send_ack and self.monitor.forward_up is not None:
+            self.monitor.forward_up(
+                UpdateAck(
+                    flowmod_xid=update.mod.xid,
+                    switch_number=self.monitor.switch_number,
+                )
+            )
+        if self.on_confirmed is not None:
+            self.on_confirmed(update.mod)
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        """Release queued FlowMods that no longer overlap anything."""
+        self.pending = [u for u in self.pending if not (u.confirmed or u.gave_up)]
+        if not self.queue:
+            return
+        still_queued: list[FlowMod] = []
+        released: list[FlowMod] = []
+        for mod in self.queue:
+            blocked = any(
+                not u.confirmed and u.mod.match.overlaps(mod.match)
+                for u in self.pending
+            ) or any(q.match.overlaps(mod.match) for q in released + still_queued)
+            if blocked:
+                still_queued.append(mod)
+            else:
+                released.append(mod)
+        self.queue = still_queued
+        for mod in released:
+            self._start_update(mod)

@@ -1,0 +1,532 @@
+"""The Monitor proxy: per-switch data-plane monitoring.
+
+One :class:`Monitor` interposes on one switch's control channel (§7).
+It maintains the switch's *expected* flow table by observing proxied
+FlowMods, and checks data-plane correspondence by injecting probes:
+
+* **steady state** (§3, Figure 4): cycle through all monitorable rules
+  at a configured probe rate; each probe is retried within a timeout
+  window and a missing/misbehaving rule raises a
+  :class:`MonitorAlarm`.
+* **dynamic mode** lives in :mod:`repro.core.dynamic` and shares the
+  probe bookkeeping implemented here.
+
+A probe is *confirmed* when a caught packet's observation — (egress
+port, rewritten header) — is possible under the expected outcome and
+impossible under the rule-absent outcome; the generator's Distinguish
+constraint guarantees the two sets cannot coincide.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.core.probegen import (
+    ProbeGenerator,
+    ProbeResult,
+    UnmonitorableReason,
+    expected_outcomes,
+)
+from repro.openflow.actions import CONTROLLER_PORT
+from repro.openflow.fields import FieldName
+from repro.openflow.messages import FlowMod, Message, PacketIn
+from repro.openflow.rule import Rule, RuleOutcome
+from repro.openflow.table import FlowTable
+from repro.packets.parse import ParseError, parse_packet
+from repro.packets.payload import ProbeMetadata
+from repro.sim.kernel import Simulator
+
+_nonce_counter = itertools.count(1)
+
+
+@dataclass
+class MonitorConfig:
+    """Tunables of the monitoring loop.
+
+    Defaults mirror the paper's Figure 4 setup: 500 probes/s, 150 ms
+    detection timeout, up to 3 re-sends.
+    """
+
+    probe_rate: float = 500.0
+    probe_timeout: float = 0.150
+    max_retries: int = 3
+    #: Re-injection interval for unconfirmed rule updates (dynamic mode).
+    update_probe_interval: float = 0.005
+    #: Give up confirming an update after this long (transient tolerance).
+    update_deadline: float = 10.0
+
+
+@dataclass
+class MonitorAlarm:
+    """Raised (recorded) when a rule misbehaves in the data plane."""
+
+    time: float
+    rule: Rule
+    kind: str  # "missing" (timeout) or "misbehaving" (wrong observation)
+    detail: str = ""
+
+
+#: An observation: (egress port on the probed switch, header items
+#: without in_port).  What Monocle can attribute to a caught probe.
+Observation = tuple[int, tuple]
+
+
+def outcome_observations(
+    outcome: RuleOutcome, observable_ports: frozenset[int] | None
+) -> frozenset[Observation]:
+    """The possible observations of an outcome, restricted to observable
+    ports.  ECMP outcomes contribute each alternative."""
+    observations = []
+    for port, header_items in outcome.emissions:
+        if observable_ports is not None and port not in observable_ports:
+            continue
+        cleaned = tuple(
+            (name, value)
+            for name, value in header_items
+            if name is not FieldName.IN_PORT
+        )
+        observations.append((port, cleaned))
+    return frozenset(observations)
+
+
+@dataclass
+class OutstandingProbe:
+    """Book-keeping for one in-flight probe."""
+
+    nonce: int
+    result: ProbeResult
+    present_obs: frozenset[Observation]
+    absent_obs: frozenset[Observation]
+    first_injected: float
+    retries_left: int
+    timeout_event: object | None = None
+    on_confirm: Callable[["OutstandingProbe"], None] | None = None
+    on_alarm: Callable[["OutstandingProbe", str], None] | None = None
+    #: "present" (steady state / additions) or "absent" (deletions).
+    confirm_on: str = "present"
+    #: Dynamic-mode probes tolerate observations of the opposite state
+    #: (a transient inconsistency, §4.1) instead of alarming on them.
+    tolerate_anti: bool = False
+    done: bool = False
+
+
+class Monitor:
+    """Monocle's per-switch Monitor proxy.
+
+    Wiring (done by :class:`~repro.core.multiplexer.MonocleSystem` or by
+    tests directly):
+
+    * ``forward_down``: deliver a message to the switch.
+    * ``forward_up``: deliver a message to the controller.
+    * ``inject_probe(packet, in_port)``: arrange for the probe to enter
+      the monitored switch on ``in_port`` (via an upstream PacketOut).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Hashable,
+        switch_number: int,
+        generator: ProbeGenerator,
+        config: MonitorConfig | None = None,
+        observable_ports: frozenset[int] | None = None,
+        forward_down: Callable[[Message], None] | None = None,
+        forward_up: Callable[[Message], None] | None = None,
+        inject_probe: Callable[[bytes, int], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.switch_number = switch_number
+        self.generator = generator
+        self.config = config if config is not None else MonitorConfig()
+        self.observable_ports = observable_ports
+        self.forward_down = forward_down
+        self.forward_up = forward_up
+        self.inject_probe = inject_probe
+
+        #: Expected (control-plane view) flow table, catch rules included.
+        self.expected = FlowTable(check_overlap=False)
+        self.alarms: list[MonitorAlarm] = []
+        self.outstanding: dict[int, OutstandingProbe] = {}
+        #: Per-rule probe cache; invalidated on overlapping table changes.
+        self._probe_cache: dict[tuple, ProbeResult] = {}
+        self._cycle_keys: list[tuple] = []
+        self._cycle_position = 0
+        self._steady_running = False
+        # Stats.
+        self.probes_sent = 0
+        self.probes_confirmed = 0
+        self.probes_timed_out = 0
+        self.rules_unmonitorable = 0
+        self.stale_probes = 0
+
+    # ----- expected-table maintenance --------------------------------------
+
+    def preinstall(self, rule: Rule) -> None:
+        """Record a rule installed out-of-band (catch rules, initial state)."""
+        self.expected.install(rule)
+        self._invalidate_cache(rule.match)
+
+    def observe_flowmod(self, mod: FlowMod) -> None:
+        """Track a FlowMod the controller sent (steady-state tracking).
+
+        Dynamic-mode interception (queueing + acks) is layered on top by
+        :class:`~repro.core.dynamic.DynamicMonitor`.
+        """
+        from repro.switches.switch import apply_flowmod  # local: avoid cycle
+
+        apply_flowmod(self.expected, mod)
+        self._invalidate_cache(mod.match)
+        self._rebuild_cycle()
+
+    def _invalidate_cache(self, match) -> None:
+        stale = [
+            key
+            for key, cached in self._probe_cache.items()
+            if cached.rule.match.overlaps(match)
+        ]
+        for key in stale:
+            del self._probe_cache[key]
+
+    # ----- proxy data path ---------------------------------------------------
+
+    def from_controller(self, msg: Message) -> None:
+        """Controller -> switch passthrough with FlowMod tracking."""
+        if isinstance(msg, FlowMod):
+            self.observe_flowmod(msg)
+        if self.forward_down is not None:
+            self.forward_down(msg)
+
+    def from_switch(self, msg: Message) -> None:
+        """Switch -> controller passthrough; consumes our own probes."""
+        if isinstance(msg, PacketIn):
+            metadata = self._probe_metadata(msg)
+            if metadata is not None:
+                if metadata.switch_id == self.switch_number:
+                    self.handle_caught_probe(msg, metadata)
+                # Probes (ours or other monitors') never reach the
+                # controller; the multiplexer routes cross-switch ones.
+                return
+        if self.forward_up is not None:
+            self.forward_up(msg)
+
+    @staticmethod
+    def _probe_metadata(msg: PacketIn) -> ProbeMetadata | None:
+        try:
+            _values, payload = parse_packet(msg.payload, msg.in_port)
+        except ParseError:
+            return None
+        return ProbeMetadata.decode(payload)
+
+    # ----- probe generation ---------------------------------------------------
+
+    def probe_for_rule(self, rule: Rule) -> ProbeResult:
+        """Probe for ``rule`` in the current expected table (cached)."""
+        key = rule.key()
+        cached = self._probe_cache.get(key)
+        if cached is not None and cached.rule == rule:
+            return cached
+        result = self.generator.generate(self.expected, rule)
+        if result.ok:
+            result = self._check_observability(result)
+        self._probe_cache[key] = result
+        return result
+
+    def _check_observability(self, result: ProbeResult) -> ProbeResult:
+        """Demote probes whose outcomes can't be told apart from what
+        Monocle can actually observe (egress rules, §3.5)."""
+        present = outcome_observations(
+            result.outcome_present, self.observable_ports
+        )
+        absent = outcome_observations(
+            result.outcome_absent, self.observable_ports
+        )
+        present_returns = bool(present)
+        absent_returns = bool(absent)
+        if present == absent and present_returns == absent_returns:
+            result.ok = False
+            result.reason = UnmonitorableReason.UNSATISFIABLE
+        return result
+
+    # ----- steady-state cycle ---------------------------------------------
+
+    def start_steady_state(self) -> None:
+        """Begin the §3 monitoring cycle at ``config.probe_rate``."""
+        if self._steady_running:
+            return
+        self._steady_running = True
+        self._rebuild_cycle()
+        self.sim.schedule(1.0 / self.config.probe_rate, self._steady_tick)
+
+    def stop_steady_state(self) -> None:
+        """Pause the cycle (outstanding probes still resolve)."""
+        self._steady_running = False
+
+    def _rebuild_cycle(self) -> None:
+        self._cycle_keys = [
+            rule.key()
+            for rule in self.expected
+            if not self._is_infrastructure(rule)
+        ]
+
+    def _is_infrastructure(self, rule: Rule) -> bool:
+        """Catch/filter rules are not probed (they are the probing plane)."""
+        from repro.core.catching import CATCH_PRIORITY, FILTER_PRIORITY
+
+        return rule.priority in (CATCH_PRIORITY, FILTER_PRIORITY)
+
+    def _steady_tick(self) -> None:
+        if not self._steady_running:
+            return
+        self.sim.schedule(1.0 / self.config.probe_rate, self._steady_tick)
+        rule = self._next_cycle_rule()
+        if rule is None:
+            return
+        result = self.probe_for_rule(rule)
+        if not result.ok:
+            self.rules_unmonitorable += 1
+            return
+        self.launch_probe(
+            result,
+            confirm_on="present",
+            on_alarm=self._steady_alarm,
+        )
+
+    def _next_cycle_rule(self) -> Rule | None:
+        if not self._cycle_keys:
+            return None
+        for _ in range(len(self._cycle_keys)):
+            self._cycle_position = (self._cycle_position + 1) % len(
+                self._cycle_keys
+            )
+            key = self._cycle_keys[self._cycle_position]
+            rule = self.expected.get(*key)
+            if rule is None:
+                continue
+            # Skip rules with a probe already in flight.
+            if any(
+                probe.result.rule.key() == key and not probe.done
+                for probe in self.outstanding.values()
+            ):
+                continue
+            return rule
+        return None
+
+    def _steady_alarm(self, probe: OutstandingProbe, kind: str) -> None:
+        self.alarms.append(
+            MonitorAlarm(
+                time=self.sim.now,
+                rule=probe.result.rule,
+                kind=kind,
+                detail=f"nonce={probe.nonce}",
+            )
+        )
+
+    # ----- probe lifecycle ---------------------------------------------------
+
+    def launch_probe(
+        self,
+        result: ProbeResult,
+        confirm_on: str = "present",
+        on_confirm: Callable[[OutstandingProbe], None] | None = None,
+        on_alarm: Callable[[OutstandingProbe, str], None] | None = None,
+        present_obs: frozenset[Observation] | None = None,
+        absent_obs: frozenset[Observation] | None = None,
+        retry_interval: float | None = None,
+        retries: int | None = None,
+        timeout: float | None = None,
+        retry_backoff: float = 1.0,
+        max_retry_interval: float = 0.050,
+        tolerate_anti: bool = False,
+    ) -> OutstandingProbe:
+        """Inject a probe and track it to confirmation or timeout.
+
+        Args:
+            retries: re-injection budget; ``-1`` means re-inject until
+                the timeout fires (dynamic-mode probes).
+            timeout: overrides ``config.probe_timeout``.
+            retry_backoff: multiplier applied to the retry interval
+                after every re-injection (capped at
+                ``max_retry_interval``); >1 lets long-pending update
+                probes back off while the switch control queue drains.
+        """
+        assert result.ok and result.header is not None
+        nonce = next(_nonce_counter)
+        if present_obs is None:
+            present_obs = outcome_observations(
+                result.outcome_present, self.observable_ports
+            )
+        if absent_obs is None:
+            absent_obs = outcome_observations(
+                result.outcome_absent, self.observable_ports
+            )
+        probe = OutstandingProbe(
+            nonce=nonce,
+            result=result,
+            present_obs=present_obs,
+            absent_obs=absent_obs,
+            first_injected=self.sim.now,
+            retries_left=(
+                retries if retries is not None else self.config.max_retries
+            ),
+            on_confirm=on_confirm,
+            on_alarm=on_alarm,
+            confirm_on=confirm_on,
+            tolerate_anti=tolerate_anti,
+        )
+        self.outstanding[nonce] = probe
+        self._inject(probe)
+        retry_gap = (
+            retry_interval
+            if retry_interval is not None
+            else self.config.probe_timeout / (self.config.max_retries + 1)
+        )
+        # Backoff only engages after one timeout's worth of fast
+        # retries: prompt confirmation for healthy switches, polite
+        # polling when the control queue is backlogged.
+        grace = (
+            int(self.config.probe_timeout / retry_gap)
+            if retry_backoff > 1.0
+            else 0
+        )
+        self._schedule_retry(
+            probe, retry_gap, retry_backoff, max_retry_interval, grace
+        )
+        probe.timeout_event = self.sim.schedule(
+            timeout if timeout is not None else self.config.probe_timeout,
+            lambda: self._probe_timeout(probe),
+        )
+        return probe
+
+    def _inject(self, probe: OutstandingProbe) -> None:
+        if self.inject_probe is None:
+            return
+        metadata = ProbeMetadata(
+            switch_id=self.switch_number,
+            rule_cookie=probe.result.rule.cookie,
+            nonce=probe.nonce,
+            expected_drop=probe.result.outcome_present.is_drop(),
+        )
+        from repro.packets.craft import craft_packet
+
+        header = dict(probe.result.header)
+        packet = craft_packet(header, metadata.encode())
+        in_port = header.get(FieldName.IN_PORT, 0)
+        self.probes_sent += 1
+        self.inject_probe(packet, in_port)
+
+    def _schedule_retry(
+        self,
+        probe: OutstandingProbe,
+        gap: float,
+        backoff: float = 1.0,
+        max_gap: float = 0.050,
+        grace: int = 0,
+    ) -> None:
+        def retry() -> None:
+            if probe.done:
+                return
+            if probe.retries_left == 0:
+                return
+            if probe.retries_left > 0:
+                probe.retries_left -= 1
+            self._inject(probe)
+            next_gap = gap if grace > 0 else min(gap * backoff, max_gap)
+            self._schedule_retry(
+                probe, next_gap, backoff, max_gap, max(0, grace - 1)
+            )
+
+        self.sim.schedule(gap, retry)
+
+    def invalidate_probe(self, probe: OutstandingProbe) -> None:
+        """Cancel an in-flight probe (its table context became stale)."""
+        probe.done = True
+        self.outstanding.pop(probe.nonce, None)
+
+    def _probe_timeout(self, probe: OutstandingProbe) -> None:
+        if probe.done:
+            return
+        probe.done = True
+        self.outstanding.pop(probe.nonce, None)
+        expecting_return = (
+            bool(probe.present_obs)
+            if probe.confirm_on == "present"
+            else bool(probe.absent_obs)
+        )
+        if not expecting_return:
+            # Negative probing (§3.3): silence is (weak) success.
+            self.probes_confirmed += 1
+            if probe.on_confirm is not None:
+                probe.on_confirm(probe)
+            return
+        self.probes_timed_out += 1
+        if probe.on_alarm is not None:
+            probe.on_alarm(probe, "missing")
+
+    def handle_caught_probe(self, msg: PacketIn, metadata: ProbeMetadata) -> None:
+        """A probe of ours came back (routed here by the multiplexer).
+
+        ``msg.in_port`` must already be translated to *this* switch's
+        egress port by the multiplexer (it knows which downstream switch
+        caught the probe).
+        """
+        probe = self.outstanding.get(metadata.nonce)
+        if probe is None or probe.done:
+            self.stale_probes += 1
+            return
+        try:
+            values, _payload = parse_packet(msg.payload, msg.in_port)
+        except ParseError:
+            self.stale_probes += 1
+            return
+        observation: Observation = (
+            msg.in_port,
+            tuple(
+                sorted(
+                    (name, value)
+                    for name, value in values.items()
+                    if name is not FieldName.IN_PORT
+                )
+            ),
+        )
+        target = (
+            probe.present_obs
+            if probe.confirm_on == "present"
+            else probe.absent_obs
+        )
+        anti = (
+            probe.absent_obs
+            if probe.confirm_on == "present"
+            else probe.present_obs
+        )
+        if observation in target:
+            probe.done = True
+            self.outstanding.pop(probe.nonce, None)
+            if probe.timeout_event is not None:
+                probe.timeout_event.cancel()
+            self.probes_confirmed += 1
+            if probe.on_confirm is not None:
+                probe.on_confirm(probe)
+        elif observation in anti:
+            # Positive evidence of the opposite state.
+            if probe.confirm_on == "present" and not probe.tolerate_anti:
+                probe.done = True
+                self.outstanding.pop(probe.nonce, None)
+                if probe.timeout_event is not None:
+                    probe.timeout_event.cancel()
+                if probe.on_alarm is not None:
+                    probe.on_alarm(probe, "misbehaving")
+            # Otherwise: for deletions ("absent") or tolerant update
+            # probes, seeing the old state just means the switch hasn't
+            # updated yet; keep waiting.
+        else:
+            # Neither state explains this observation: corruption.
+            if probe.on_alarm is not None:
+                probe.on_alarm(probe, "misbehaving")
+
+
+def restrict_controller_port(ports: frozenset[int]) -> frozenset[int]:
+    """Helper: observable ports always include the controller port."""
+    return ports | {CONTROLLER_PORT}

@@ -1,0 +1,248 @@
+"""The Multiplexer proxy and full-system deployment (paper §7).
+
+The paper realizes Monocle as a chain of proxies: one *Monitor* per
+switch plus a *Multiplexer* that "connects to Monitors of all monitored
+switches and is responsible for forwarding their PacketOut/In messages
+to/from the switch".  :class:`Multiplexer` does exactly that routing:
+
+* probe injection: a Monitor probing switch X needs the probe to enter
+  X on a specific port, so the Multiplexer sends a PacketOut to the
+  *upstream* neighbor with the right output port;
+* probe collection: a probe caught by downstream switch Z arrives on
+  Z's control channel; the Multiplexer decodes the probe metadata and
+  hands it to the owning Monitor, translating Z's ingress port into the
+  probed switch's egress port.
+
+:class:`MonocleSystem` wires everything for a
+:class:`~repro.network.network.Network`: computes the catching plan
+(§6), pre-installs catching rules, builds a Monitor (+ optional
+DynamicMonitor) per switch and interposes all control channels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.core.catching import CatchingPlan, ColoringAlgorithm, plan_catching_rules
+from repro.core.dynamic import DynamicMonitor
+from repro.core.monitor import Monitor, MonitorConfig
+from repro.core.probegen import ProbeGenerator
+from repro.openflow.actions import CONTROLLER_PORT
+from repro.openflow.messages import Message, PacketIn, PacketOut
+from repro.openflow.fields import FieldName
+from repro.packets.parse import ParseError, parse_packet
+from repro.packets.payload import ProbeMetadata
+from repro.network.network import Network
+
+
+class Multiplexer:
+    """Routes probe PacketOut/PacketIn traffic between Monitors and
+    switches."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        #: switch_number -> (node, Monitor), filled by MonocleSystem.
+        self.monitors: dict[int, tuple[Hashable, Monitor]] = {}
+        self.probes_routed = 0
+        self.probes_unroutable = 0
+
+    def register(self, node: Hashable, monitor: Monitor) -> None:
+        """Register the Monitor responsible for a switch."""
+        self.monitors[monitor.switch_number] = (node, monitor)
+
+    def inject(self, probed_node: Hashable, packet: bytes, in_port: int) -> None:
+        """Make ``packet`` enter ``probed_node`` on ``in_port``.
+
+        Sends a PacketOut to the upstream neighbor attached to that
+        port.  Unroutable requests (no upstream switch there) are
+        counted and dropped.
+        """
+        options = self.network.upstream_options(probed_node)
+        target = options.get(in_port)
+        if target is None:
+            self.probes_unroutable += 1
+            return
+        upstream_node, upstream_port = target
+        self.network.channel(upstream_node).send_down(
+            PacketOut(payload=packet, out_port=upstream_port)
+        )
+
+    def route_packet_in(
+        self, caught_at: Hashable, msg: PacketIn, metadata: ProbeMetadata
+    ) -> bool:
+        """Deliver a caught probe to its owning Monitor.
+
+        Returns True when the probe was routed; False when no Monitor
+        owns it (stale or foreign traffic).
+        """
+        entry = self.monitors.get(metadata.switch_id)
+        if entry is None:
+            self.probes_unroutable += 1
+            return False
+        probed_node, monitor = entry
+        egress_port = self._egress_port(probed_node, caught_at)
+        if egress_port is None:
+            self.probes_unroutable += 1
+            return False
+        self.probes_routed += 1
+        translated = PacketIn(
+            xid=msg.xid,
+            payload=msg.payload,
+            in_port=egress_port,
+            reason=msg.reason,
+        )
+        monitor.handle_caught_probe(translated, metadata)
+        return True
+
+    def _egress_port(
+        self, probed_node: Hashable, caught_at: Hashable
+    ) -> int | None:
+        if probed_node == caught_at:
+            # The probed switch's own rule sent the packet to the
+            # controller (e.g. a controller-bound production rule).
+            return CONTROLLER_PORT
+        return self.network.port_toward.get(probed_node, {}).get(caught_at)
+
+
+class MonocleSystem:
+    """Monocle deployed over an entire simulated network.
+
+    Args:
+        network: the wired network to monitor.
+        plan: catching plan; computed (strategy 1, exact coloring) when
+            omitted.
+        config: monitoring configuration shared by all Monitors.
+        dynamic: create a DynamicMonitor per switch so FlowMods are
+            confirmed and acknowledged (§4).
+        controller_handler: ``(node, message) -> None`` receiving
+            non-probe upstream traffic and UpdateAcks.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        plan: CatchingPlan | None = None,
+        config: MonitorConfig | None = None,
+        dynamic: bool = True,
+        controller_handler: Callable[[Hashable, Message], None] | None = None,
+        use_drop_postponing: bool = False,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.config = config if config is not None else MonitorConfig()
+        self.controller_handler = controller_handler
+        if plan is None:
+            plan = plan_catching_rules(
+                network.topology, strategy=1, algorithm=ColoringAlgorithm.EXACT
+            )
+        self.plan = plan
+        self.multiplexer = Multiplexer(network)
+        self.monitors: dict[Hashable, Monitor] = {}
+        self.dynamics: dict[Hashable, DynamicMonitor] = {}
+
+        for node in sorted(network.topology.nodes, key=repr):
+            self._deploy(node, dynamic, use_drop_postponing)
+
+    def _deploy(
+        self, node: Hashable, dynamic: bool, use_drop_postponing: bool
+    ) -> None:
+        network = self.network
+        switch = network.switch(node)
+        channel = network.channel(node)
+        switch_facing = network.switch_facing_ports(node)
+
+        # Pre-install the catching rules on the switch and record them
+        # in the expected table (they are part of the Hit constraint).
+        catch_rules = self.plan.catching_rules(node)
+        for rule in catch_rules:
+            switch.install_directly(rule)
+
+        downstream = next(iter(network.topology.neighbors(node)), None)
+        generator = ProbeGenerator(
+            catch_match=self.plan.probe_match(node, downstream),
+            valid_in_ports=tuple(switch_facing) if switch_facing else None,
+        )
+        observable = frozenset(switch_facing) | {CONTROLLER_PORT}
+        monitor = Monitor(
+            sim=self.sim,
+            node=node,
+            switch_number=network.switch_number(node),
+            generator=generator,
+            config=self.config,
+            observable_ports=observable,
+            forward_down=channel.send_down,
+            forward_up=lambda msg, n=node: self._to_controller(n, msg),
+            inject_probe=lambda packet, in_port, n=node: self.multiplexer.inject(
+                n, packet, in_port
+            ),
+        )
+        for rule in catch_rules:
+            monitor.preinstall(rule)
+        channel.up_handler = lambda msg, n=node: self._from_switch(n, msg)
+        self.monitors[node] = monitor
+        self.multiplexer.register(node, monitor)
+        if dynamic:
+            neighbor_port = switch_facing[0] if switch_facing else None
+            self.dynamics[node] = DynamicMonitor(
+                monitor,
+                use_drop_postponing=use_drop_postponing,
+                drop_postpone_port=neighbor_port,
+            )
+
+    # ----- controller-facing API ----------------------------------------
+
+    def send_to_switch(self, node: Hashable, msg: Message) -> None:
+        """Entry point for the controller: goes through Monocle."""
+        dynamic = self.dynamics.get(node)
+        if dynamic is not None:
+            dynamic.from_controller(msg)
+        else:
+            self.monitors[node].from_controller(msg)
+
+    def monitor(self, node: Hashable) -> Monitor:
+        """The Monitor for a switch."""
+        return self.monitors[node]
+
+    def dynamic(self, node: Hashable) -> DynamicMonitor:
+        """The DynamicMonitor for a switch."""
+        return self.dynamics[node]
+
+    def start_steady_state(self) -> None:
+        """Start the §3 monitoring cycle on every switch."""
+        for monitor in self.monitors.values():
+            monitor.start_steady_state()
+
+    def preinstall_production_rule(self, node: Hashable, rule) -> None:
+        """Install a production rule directly (pre-experiment setup),
+        keeping switch and Monitor views consistent."""
+        self.network.switch(node).install_directly(rule)
+        self.monitors[node].preinstall(rule)
+
+    # ----- internal routing ----------------------------------------------
+
+    def _from_switch(self, node: Hashable, msg: Message) -> None:
+        if isinstance(msg, PacketIn):
+            metadata = self._probe_metadata(msg)
+            if metadata is not None:
+                self.multiplexer.route_packet_in(node, msg, metadata)
+                return
+        self.monitors[node].from_switch(msg)
+
+    @staticmethod
+    def _probe_metadata(msg: PacketIn) -> ProbeMetadata | None:
+        try:
+            _values, payload = parse_packet(msg.payload, msg.in_port)
+        except ParseError:
+            return None
+        return ProbeMetadata.decode(payload)
+
+    def _to_controller(self, node: Hashable, msg: Message) -> None:
+        if self.controller_handler is not None:
+            self.controller_handler(node, msg)
+
+    def total_alarms(self) -> list:
+        """All alarms across monitors, time-ordered."""
+        alarms = []
+        for monitor in self.monitors.values():
+            alarms.extend(monitor.alarms)
+        return sorted(alarms, key=lambda a: a.time)

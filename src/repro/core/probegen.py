@@ -1,0 +1,304 @@
+"""Probe generation (paper §3 + §5).
+
+Given the expected flow table of a switch, a rule to probe and the
+catching-rule match, :class:`ProbeGenerator` produces a
+:class:`ProbeResult` containing the abstract probe header, the crafted
+raw packet, and the expected observable outcomes with/without the rule —
+or an :class:`UnmonitorableReason` when no probe exists (§3.5).
+
+Pipeline (Figure 2):
+
+1. filter the table to rules overlapping the probed rule (§5.4 lemma),
+2. compile Hit / Distinguish / Collect to CNF
+   (:class:`~repro.core.constraints.ConstraintCompiler`),
+3. run the CDCL solver,
+4. decode the assignment into abstract header values,
+5. normalize for wire validity (§5.2: spare values, conditional fields),
+6. craft the raw packet and compute expected outcomes.
+
+:func:`verify_probe` is the independent, simulation-based checker used by
+the test suite: it re-derives Table 1 semantics by actually processing
+the probe against the table with and without the probed rule.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ConstraintCompiler, DistinguishEncoding
+from repro.openflow.fields import FieldName, HEADER
+from repro.openflow.match import Match
+from repro.openflow.rule import Rule, RuleOutcome
+from repro.openflow.table import FlowTable
+from repro.packets.craft import CraftError, craft_packet, normalize_abstract_header
+from repro.sat.solver import SatSolver
+
+
+class UnmonitorableReason(str, enum.Enum):
+    """Why no probe exists for a rule (§3.5)."""
+
+    #: Higher-priority rules cover the probed rule completely (e.g. a
+    #: backup rule shadowed by its primary), or the catching match is
+    #: incompatible with the rule's match.
+    UNSATISFIABLE = "unsatisfiable"
+    #: A probe satisfying the bit constraints exists, but none of them
+    #: can be turned into a wire-valid packet (limited-domain dead end).
+    UNCRAFTABLE = "uncraftable"
+    #: The solver exhausted its conflict budget (should not happen on
+    #: realistic tables; reported separately for honesty).
+    BUDGET_EXCEEDED = "budget_exceeded"
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of one probe-generation attempt.
+
+    Attributes:
+        rule: the probed rule.
+        ok: True when a probe was produced.
+        reason: set when ``ok`` is False.
+        header: normalized abstract header values of the probe.
+        packet: crafted raw packet bytes.
+        outcome_present: expected observable outcome when the rule is in
+            the data plane.
+        outcome_absent: expected outcome when it is missing.
+        generation_time: wall-clock seconds spent generating.
+        cnf_vars / cnf_clauses: size of the SAT instance.
+        overlapping_rules: how many rules survived the §5.4 filter.
+    """
+
+    rule: Rule
+    ok: bool
+    reason: UnmonitorableReason | None = None
+    header: dict[FieldName, int] | None = None
+    packet: bytes | None = None
+    outcome_present: RuleOutcome | None = None
+    outcome_absent: RuleOutcome | None = None
+    generation_time: float = 0.0
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    overlapping_rules: int = 0
+    solver_conflicts: int = 0
+
+    def expects_return(self) -> bool:
+        """Will the probe come back to Monocle when the rule is healthy?
+
+        False for drop rules (negative probing, §3.3).
+        """
+        assert self.outcome_present is not None
+        return not self.outcome_present.is_drop()
+
+
+@dataclass
+class ProbeGenerator:
+    """Generates probes for rules of one switch's flow table.
+
+    Attributes:
+        catch_match: match of the downstream catching rule the probe
+            must satisfy (Collect constraint).  The reserved fields it
+            pins must not be rewritten by table rules — validated at
+            compile time.
+        valid_in_ports: if given, the probe's in_port is constrained to
+            this set (ports that physically exist / have an upstream
+            injector).
+        encoding: Distinguish-chain encoding (ablation knob).
+        max_conflicts: CDCL conflict budget per probe.
+        overlap_filter: the §5.4 optimization; disable only for the
+            ablation benchmark.
+    """
+
+    catch_match: Match
+    valid_in_ports: tuple[int, ...] | None = None
+    encoding: DistinguishEncoding = DistinguishEncoding.ASSERTED_CHAIN
+    max_conflicts: int | None = 100_000
+    overlap_filter: bool = True
+    miss_rule: Rule | None = None
+    _reserved_fields: frozenset[FieldName] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._reserved_fields = frozenset(self.catch_match.fields)
+
+    # ----- public API -----------------------------------------------------
+
+    def generate(self, table: FlowTable, rule: Rule) -> ProbeResult:
+        """Generate a probe for ``rule``, assumed present in ``table``.
+
+        ``table`` is the *expected* table (control-plane view); the rule
+        itself must be part of it so priority relations are well defined.
+        """
+        start = time.perf_counter()
+        result = self._generate(table, rule)
+        result.generation_time = time.perf_counter() - start
+        return result
+
+    def _generate(self, table: FlowTable, rule: Rule) -> ProbeResult:
+        if self.overlap_filter:
+            candidates = table.overlapping(rule.match)
+        else:
+            candidates = table.rules()
+        candidates = [r for r in candidates if r.key() != rule.key()]
+        # The §3.2 no-rewriting-reserved-fields assumption only needs to
+        # hold on rules this probe can interact with; use
+        # :meth:`validate_table` for a whole-table audit.
+        self._check_reserved_fields([rule] + candidates)
+        higher = [r for r in candidates if r.priority > rule.priority]
+        lower = [r for r in candidates if r.priority < rule.priority]
+
+        compiler = ConstraintCompiler(encoding=self.encoding)
+        # Hit
+        compiler.assert_matches(rule.match)
+        for other in higher:
+            compiler.assert_not_matches(other.match)
+        # Collect
+        compiler.assert_matches(self.catch_match)
+        # Distinguish
+        compiler.assert_distinguish(rule, lower, miss_rule=self.miss_rule)
+        # Wire-level domain restriction for in_port, which unlike the
+        # other limited-domain fields cannot be fixed after solving
+        # (rules commonly match on it exactly).
+        if self.valid_in_ports is not None:
+            compiler.assert_value_in(FieldName.IN_PORT, self.valid_in_ports)
+
+        solver = SatSolver(compiler.cnf)
+        sat = solver.solve(max_conflicts=self.max_conflicts)
+
+        result = ProbeResult(
+            rule=rule,
+            ok=False,
+            cnf_vars=compiler.cnf.num_vars,
+            cnf_clauses=compiler.cnf.num_clauses,
+            overlapping_rules=len(candidates),
+            solver_conflicts=sat.conflicts,
+        )
+        if sat.satisfiable is None:
+            result.reason = UnmonitorableReason.BUDGET_EXCEEDED
+            return result
+        if not sat.satisfiable:
+            result.reason = UnmonitorableReason.UNSATISFIABLE
+            return result
+
+        raw_values = compiler.decode_assignment(sat.assignment)
+        # The §5.2 substitution lemma only needs the matches the probe
+        # can interact with: by the §5.4 non-overlap lemma, a probe that
+        # matches the probed rule can never match a non-overlapping rule
+        # regardless of what value the substituted field takes.
+        relevant = (
+            [rule.match]
+            + [r.match for r in candidates]
+            + [self.catch_match]
+        )
+        try:
+            header = normalize_abstract_header(raw_values, relevant)
+            packet = craft_packet(header)
+        except CraftError:
+            result.reason = UnmonitorableReason.UNCRAFTABLE
+            return result
+
+        result.ok = True
+        result.header = header
+        result.packet = packet
+        result.outcome_present, result.outcome_absent = _candidate_outcomes(
+            rule, candidates, header
+        )
+        return result
+
+    # ----- validation ------------------------------------------------------
+
+    def _check_reserved_fields(self, rules) -> None:
+        """Reject rules that rewrite the probe-reserved fields.
+
+        §3.2 lists two failure modes if this assumption is violated; the
+        generator refuses rather than producing unsound probes.
+        """
+        for rule in rules:
+            rewritten = rule.actions.rewritten_fields()
+            bad = rewritten & self._reserved_fields
+            if bad:
+                raise ValueError(
+                    f"rule {rule!r} rewrites probe-reserved field(s) "
+                    f"{sorted(f.value for f in bad)}"
+                )
+
+    def validate_table(self, table: FlowTable) -> None:
+        """Audit a whole table against the reserved-field assumption."""
+        self._check_reserved_fields(table)
+
+
+def _candidate_outcomes(
+    rule: Rule, candidates: list[Rule], header: dict[FieldName, int]
+) -> tuple[RuleOutcome, RuleOutcome]:
+    """Expected with/without outcomes using only the overlap candidates.
+
+    Sound by the §5.4 lemma: the probe cannot match any rule outside the
+    candidate set, so the highest-priority match is decided within it.
+    """
+    ordered = sorted(candidates + [rule], key=lambda r: -r.priority)
+    present: RuleOutcome | None = None
+    absent: RuleOutcome | None = None
+    for candidate in ordered:
+        if not candidate.match.matches(header):
+            continue
+        if present is None:
+            present = RuleOutcome.from_rule(candidate, header)
+        if absent is None and candidate.key() != rule.key():
+            absent = RuleOutcome.from_rule(candidate, header)
+        if present is not None and absent is not None:
+            break
+    if present is None:
+        present = RuleOutcome.dropped()
+    if absent is None:
+        absent = RuleOutcome.dropped()
+    return present, absent
+
+
+def expected_outcomes(
+    table: FlowTable, rule: Rule, header: dict[FieldName, int]
+) -> tuple[RuleOutcome, RuleOutcome]:
+    """Expected outcome of the probe with/without the probed rule.
+
+    ECMP uncertainty is preserved (the returned outcomes keep the ecmp
+    flag so the monitor accepts any of the possible ports).
+    """
+    present = full_outcome(table, header)
+    without = table.copy()
+    without.remove(rule)
+    absent = full_outcome(without, header)
+    return present, absent
+
+
+def full_outcome(table: FlowTable, header: dict[FieldName, int]) -> RuleOutcome:
+    """Outcome of processing ``header``, keeping ECMP alternatives."""
+    matched = table.lookup(header)
+    if matched is None:
+        return RuleOutcome.dropped()
+    return RuleOutcome.from_rule(matched, header)
+
+
+def verify_probe(
+    table: FlowTable,
+    rule: Rule,
+    header: dict[FieldName, int],
+    catch_match: Match,
+) -> tuple[bool, str]:
+    """Independent, simulation-based check of Table 1.
+
+    Returns ``(valid, explanation)``.  Used by tests and by paranoid
+    callers; the generator's constraints should make this always pass
+    for generated probes.
+    """
+    hit = table.lookup(header)
+    if hit is None or hit.key() != rule.key():
+        return False, f"probe is processed by {hit!r}, not the probed rule"
+
+    if not catch_match.matches(header):
+        return False, "probe does not match the catching rule"
+
+    present, absent = expected_outcomes(table, rule, header)
+    if not present.distinguishable_from(absent):
+        return False, (
+            f"outcomes are not distinguishable: present={present}, "
+            f"absent={absent}"
+        )
+    return True, "ok"

@@ -1,0 +1,53 @@
+"""OpenFlow control channels.
+
+A :class:`ControlChannel` carries control messages between a
+controller-side endpoint and a switch-side endpoint with a configurable
+latency.  Endpoints are callables; Monocle interposes by owning the
+switch's channel and exposing a controller-facing endpoint of its own
+(the paper's proxy design, §2/§7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.openflow.messages import Message
+from repro.sim.kernel import Simulator
+
+#: Default one-way control-channel latency (TCP over management net).
+DEFAULT_CONTROL_LATENCY = 0.001
+
+
+class ControlChannel:
+    """A bidirectional, ordered message pipe with latency.
+
+    Attributes:
+        down_handler: receives messages travelling controller -> switch.
+        up_handler: receives messages travelling switch -> controller.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = DEFAULT_CONTROL_LATENCY,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.down_handler: Callable[[Message], None] | None = None
+        self.up_handler: Callable[[Message], None] | None = None
+        self.messages_down = 0
+        self.messages_up = 0
+
+    def send_down(self, msg: Message) -> None:
+        """Send toward the switch."""
+        self.messages_down += 1
+        handler = self.down_handler
+        if handler is not None:
+            self.sim.schedule(self.latency, lambda: handler(msg))
+
+    def send_up(self, msg: Message) -> None:
+        """Send toward the controller."""
+        self.messages_up += 1
+        handler = self.up_handler
+        if handler is not None:
+            self.sim.schedule(self.latency, lambda: handler(msg))

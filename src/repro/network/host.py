@@ -1,0 +1,65 @@
+"""End hosts: traffic sources and sinks attached to edge ports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.openflow.fields import FieldName
+from repro.packets.craft import craft_packet
+from repro.packets.parse import ParseError, parse_packet
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ReceivedPacket:
+    """One packet recorded by a host."""
+
+    time: float
+    values: dict
+    payload: bytes
+
+
+class Host:
+    """A host with one NIC plugged into a switch edge port.
+
+    Sending goes through ``transmit`` (wired by the Network to the
+    switch's ingress); everything received is recorded and optionally
+    forwarded to ``on_receive``.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.transmit: Callable[[bytes], None] | None = None
+        self.on_receive: Callable[[ReceivedPacket], None] | None = None
+        self.received: list[ReceivedPacket] = []
+        self.sent_count = 0
+        self.record_packets = True
+
+    def send_raw(self, raw: bytes) -> None:
+        """Transmit raw packet bytes."""
+        if self.transmit is None:
+            raise RuntimeError(f"host {self.name} is not attached")
+        self.sent_count += 1
+        self.transmit(raw)
+
+    def send(self, payload: bytes = b"", **header_fields: int) -> None:
+        """Craft and transmit a packet from abstract header fields."""
+        values = {FieldName(k): v for k, v in header_fields.items()}
+        self.send_raw(craft_packet(values, payload))
+
+    def receive(self, raw: bytes) -> None:
+        """Called by the network when a packet reaches this host."""
+        try:
+            values, payload = parse_packet(raw)
+        except ParseError:
+            values, payload = {}, raw
+        packet = ReceivedPacket(time=self.sim.now, values=values, payload=payload)
+        if self.record_packets:
+            self.received.append(packet)
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name}, received={len(self.received)})"

@@ -1,0 +1,221 @@
+"""TCAM-style flow table with OpenFlow 1.0 priority semantics.
+
+Lookup returns the highest-priority matching rule.  The OpenFlow spec
+leaves overlapping equal-priority rules undefined; following the paper
+(footnote 1) the table refuses to create that situation.
+
+The table also exposes the queries probe generation needs: rules with
+higher/lower priority than a given rule, and rules overlapping a match
+(§5.4's pre-filter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.rule import Rule, RuleOutcome
+
+
+class TableMissPolicy:
+    """What happens to packets that match no rule."""
+
+    DROP = "drop"
+    CONTROLLER = "controller"
+
+
+class OverlapError(ValueError):
+    """Raised when inserting a rule that overlaps an equal-priority rule."""
+
+
+class FlowTable:
+    """An ordered collection of rules with TCAM lookup semantics.
+
+    Rules are kept sorted by descending priority; within one priority the
+    order is insertion order (irrelevant for lookup because equal-priority
+    overlap is rejected).
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        miss_policy: str = TableMissPolicy.DROP,
+        check_overlap: bool = True,
+    ) -> None:
+        self.miss_policy = miss_policy
+        self.check_overlap = check_overlap
+        self._rules: list[Rule] = []
+        self._by_key: dict[tuple[int, Match], Rule] = {}
+        #: Lazily built [(packed_value, packed_mask, rule)] for the fast
+        #: overlap scan; None when stale.
+        self._packed_rows: list[tuple[int, int, Rule]] | None = None
+        for rule in rules:
+            self.install(rule)
+
+    # ----- mutation ----------------------------------------------------
+
+    def install(self, rule: Rule) -> None:
+        """Add a rule; replaces an existing rule with the same key.
+
+        Raises:
+            OverlapError: if the rule overlaps a *different* rule of equal
+                priority and overlap checking is on.
+        """
+        key = rule.key()
+        existing = self._by_key.get(key)
+        if existing is not None:
+            self._replace(existing, rule)
+            return
+        if self.check_overlap:
+            for other in self._rules:
+                if (
+                    other.priority == rule.priority
+                    and other.match is not rule.match
+                    and other.overlaps(rule)
+                ):
+                    raise OverlapError(
+                        f"rule {rule!r} overlaps equal-priority {other!r}"
+                    )
+        # Insert keeping descending-priority order (stable).
+        index = len(self._rules)
+        for i, other in enumerate(self._rules):
+            if other.priority < rule.priority:
+                index = i
+                break
+        self._rules.insert(index, rule)
+        self._by_key[key] = rule
+        self._packed_rows = None
+
+    def _replace(self, old: Rule, new: Rule) -> None:
+        index = self._rules.index(old)
+        self._rules[index] = new
+        self._by_key[new.key()] = new
+        self._packed_rows = None
+
+    def remove(self, rule: Rule) -> bool:
+        """Remove the rule with this rule's (priority, match) key.
+
+        Returns True if a rule was removed.
+        """
+        key = rule.key()
+        existing = self._by_key.pop(key, None)
+        if existing is None:
+            return False
+        self._rules.remove(existing)
+        self._packed_rows = None
+        return True
+
+    def remove_matching(
+        self, match: Match, strict_priority: int | None = None
+    ) -> list[Rule]:
+        """OpenFlow delete semantics.
+
+        Non-strict (``strict_priority is None``): remove every rule whose
+        match is *covered by* ``match``.  Strict: remove the single rule
+        with exactly this (priority, match).
+        """
+        if strict_priority is not None:
+            rule = self._by_key.get((strict_priority, match))
+            if rule is None:
+                return []
+            self.remove(rule)
+            return [rule]
+        removed = [r for r in self._rules if match.covers(r.match)]
+        for rule in removed:
+            self.remove(rule)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every rule."""
+        self._rules.clear()
+        self._by_key.clear()
+        self._packed_rows = None
+
+    # ----- queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return self._by_key.get(rule.key()) == rule
+
+    def rules(self) -> list[Rule]:
+        """All rules, highest priority first."""
+        return list(self._rules)
+
+    def get(self, priority: int, match: Match) -> Rule | None:
+        """The rule with exactly this key, or None."""
+        return self._by_key.get((priority, match))
+
+    def lookup(self, header_values: Mapping[FieldName, int]) -> Rule | None:
+        """Highest-priority rule matching the header, or None on miss."""
+        for rule in self._rules:
+            if rule.match.matches(header_values):
+                return rule
+        return None
+
+    def process(
+        self,
+        header_values: Mapping[FieldName, int],
+        ecmp_chooser: Callable[[Rule], int] | None = None,
+    ) -> RuleOutcome:
+        """Process a packet and return its observable outcome.
+
+        Args:
+            header_values: the packet's abstract header.
+            ecmp_chooser: for ECMP rules, callback selecting the concrete
+                port; defaults to the lowest port (deterministic).
+        """
+        rule = self.lookup(header_values)
+        if rule is None:
+            return RuleOutcome.dropped()
+        outcome = RuleOutcome.from_rule(rule, header_values)
+        if outcome.ecmp:
+            if ecmp_chooser is not None:
+                port = ecmp_chooser(rule)
+            else:
+                port = min(outcome.ports())
+            chosen = tuple(e for e in outcome.emissions if e[0] == port)
+            return RuleOutcome(emissions=chosen, ecmp=False)
+        return outcome
+
+    def higher_priority(self, rule: Rule) -> list[Rule]:
+        """Rules with strictly higher priority, highest first."""
+        return [r for r in self._rules if r.priority > rule.priority]
+
+    def lower_priority(self, rule: Rule) -> list[Rule]:
+        """Rules with strictly lower priority, highest first."""
+        return [r for r in self._rules if r.priority < rule.priority]
+
+    def overlapping(self, match: Match) -> list[Rule]:
+        """Rules whose match overlaps ``match`` (the §5.4 pre-filter).
+
+        Uses a cached packed (value, mask) array so the scan is a single
+        bigint expression per rule; this is what keeps per-probe cost
+        milliseconds on 10k-rule tables.
+        """
+        if self._packed_rows is None:
+            self._packed_rows = [
+                (*r.match.packed(), r) for r in self._rules
+            ]
+        value, mask = match.packed()
+        return [
+            rule
+            for rule_value, rule_mask, rule in self._packed_rows
+            if not ((rule_value ^ value) & rule_mask & mask)
+        ]
+
+    def copy(self) -> "FlowTable":
+        """A shallow copy (rules are immutable so this is safe)."""
+        table = FlowTable(miss_policy=self.miss_policy, check_overlap=False)
+        table._rules = list(self._rules)
+        table._by_key = dict(self._by_key)
+        table.check_overlap = self.check_overlap
+        return table
+
+    def __repr__(self) -> str:
+        return f"FlowTable({len(self._rules)} rules, miss={self.miss_policy})"

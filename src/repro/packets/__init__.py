@@ -1,0 +1,37 @@
+"""Packet crafting and parsing.
+
+This is the library that turns the *abstract* probe header produced by the
+SAT stage into a real, wire-valid packet (paper §5.2), and parses caught
+probes back into abstract headers:
+
+* :mod:`repro.packets.checksum` — the Internet checksum.
+* :mod:`repro.packets.ethernet`, :mod:`repro.packets.ipv4`,
+  :mod:`repro.packets.arp`, :mod:`repro.packets.transport` — per-protocol
+  header encode/decode.
+* :mod:`repro.packets.craft` — abstract header -> raw bytes, including
+  the §5.2 normalization steps: limited-domain (spare value) substitution
+  and elimination of conditionally-excluded fields.
+* :mod:`repro.packets.parse` — raw bytes -> abstract header.
+* :mod:`repro.packets.payload` — probe metadata carried in the packet
+  payload (§4.2: which rule is under test, expected outcome), untouched
+  by switches.
+"""
+
+from repro.packets.checksum import internet_checksum
+from repro.packets.craft import (
+    CraftError,
+    craft_packet,
+    normalize_abstract_header,
+)
+from repro.packets.parse import ParseError, parse_packet
+from repro.packets.payload import ProbeMetadata
+
+__all__ = [
+    "internet_checksum",
+    "CraftError",
+    "craft_packet",
+    "normalize_abstract_header",
+    "ParseError",
+    "parse_packet",
+    "ProbeMetadata",
+]

@@ -1,0 +1,73 @@
+"""ARP packet encode/decode (IPv4 over Ethernet)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+ARP_LEN = 28
+HTYPE_ETHERNET = 1
+PTYPE_IPV4 = 0x0800
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """Decoded ARP packet.
+
+    OpenFlow 1.0 matches ARP sender/target protocol addresses through
+    ``nw_src``/``nw_dst`` and the opcode through ``nw_proto``.
+    """
+
+    opcode: int
+    sender_mac: int
+    sender_ip: int
+    target_mac: int
+    target_ip: int
+
+
+def encode_arp(packet: ArpPacket) -> bytes:
+    """Serialize an ARP packet."""
+    return struct.pack(
+        "!HHBBH6s4s6s4s",
+        HTYPE_ETHERNET,
+        PTYPE_IPV4,
+        6,
+        4,
+        packet.opcode,
+        packet.sender_mac.to_bytes(6, "big"),
+        packet.sender_ip.to_bytes(4, "big"),
+        packet.target_mac.to_bytes(6, "big"),
+        packet.target_ip.to_bytes(4, "big"),
+    )
+
+
+def decode_arp(data: bytes) -> tuple[ArpPacket, bytes]:
+    """Parse an ARP packet; returns (packet, trailing bytes)."""
+    if len(data) < ARP_LEN:
+        raise ValueError(f"too short for ARP: {len(data)} bytes")
+    (
+        htype,
+        ptype,
+        hlen,
+        plen,
+        opcode,
+        sender_mac,
+        sender_ip,
+        target_mac,
+        target_ip,
+    ) = struct.unpack("!HHBBH6s4s6s4s", data[:ARP_LEN])
+    if htype != HTYPE_ETHERNET or ptype != PTYPE_IPV4:
+        raise ValueError(f"unsupported ARP htype/ptype: {htype}/{ptype:#x}")
+    if hlen != 6 or plen != 4:
+        raise ValueError(f"unsupported ARP address lengths: {hlen}/{plen}")
+    packet = ArpPacket(
+        opcode=opcode,
+        sender_mac=int.from_bytes(sender_mac, "big"),
+        sender_ip=int.from_bytes(sender_ip, "big"),
+        target_mac=int.from_bytes(target_mac, "big"),
+        target_ip=int.from_bytes(target_ip, "big"),
+    )
+    return packet, data[ARP_LEN:]

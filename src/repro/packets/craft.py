@@ -1,0 +1,212 @@
+"""Abstract probe header -> raw packet (paper §5.2).
+
+The SAT stage produces an assignment over abstract header bits; nothing
+forces that assignment to be a *craftable* packet.  Two normalization
+steps from the paper run before serialization:
+
+1. **Limited domains.**  Fields like ``dl_type`` and ``nw_proto`` only
+   admit a handful of wire-valid values.  If the SAT solution picked an
+   invalid value, it is replaced with a *spare* valid value — one whose
+   substitution provably does not change ``Matches(probe, R)`` for any
+   rule ``R`` the caller supplies (the §5.2 substitution lemma).  Rather
+   than assuming rules are exact-or-wildcard on these fields, we check
+   the lemma's conclusion directly against every rule constraint.
+
+2. **Conditionally-excluded fields.**  Fields whose parent field takes a
+   value that excludes them (e.g. ``tp_src`` when ``nw_proto`` is not
+   TCP/UDP/ICMP) are zeroed; the §5.2 elimination lemma guarantees this
+   cannot change any well-formed rule's match result.
+
+After normalization, :func:`craft_packet` assembles real bytes:
+Ethernet (+VLAN) and then IPv4/TCP/UDP/ICMP or ARP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.openflow.fields import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    HEADER,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    VLAN_NONE,
+    Field,
+    FieldName,
+)
+from repro.openflow.match import FieldMatch, Match
+from repro.packets import arp, ethernet, ipv4, transport
+
+
+class CraftError(ValueError):
+    """Raised when an abstract header cannot become a valid packet."""
+
+
+def _substitution_safe(
+    candidate: int, original: int, constraints: Iterable[FieldMatch]
+) -> bool:
+    """Does swapping original->candidate preserve every field constraint?"""
+    for fm in constraints:
+        if fm.matches(candidate) != fm.matches(original):
+            return False
+    return True
+
+
+def _field_constraints(
+    matches: Iterable[Match], name: FieldName
+) -> list[FieldMatch]:
+    """Collect the non-wildcard constraints on ``name`` across matches."""
+    out = []
+    for match in matches:
+        fm = match.constraint(name)
+        if not fm.is_wildcard():
+            out.append(fm)
+    return out
+
+
+def _fix_limited_domain(
+    field: Field,
+    value: int,
+    constraints: list[FieldMatch],
+) -> int:
+    """Return a wire-valid value for the field, preserving all matches.
+
+    Implements the spare-value substitution of §5.2.  If the current
+    value is already valid it is kept; otherwise each valid value is
+    tried in order and the first one that provably preserves every
+    constraint is chosen.
+    """
+    assert field.valid_values is not None
+    if value in field.valid_values:
+        return value
+    for candidate in field.valid_values:
+        if _substitution_safe(candidate, value, constraints):
+            return candidate
+    raise CraftError(
+        f"no valid substitute for {field.name}={value:#x}; "
+        f"domain {field.valid_values} is fully pinned by rules"
+    )
+
+
+def _is_excluded(values: Mapping[FieldName, int], field: Field) -> bool:
+    """Is the field conditionally excluded given the parent's value?
+
+    Walks parent links recursively: a field is excluded if its immediate
+    parent has an excluding value, or the parent itself is excluded.
+    """
+    if field.parent is None:
+        return False
+    parent_field = HEADER.field(field.parent)
+    if _is_excluded(values, parent_field):
+        return True
+    assert field.parent_values is not None
+    return values.get(field.parent, 0) not in field.parent_values
+
+
+def normalize_abstract_header(
+    values: Mapping[FieldName, int],
+    rule_matches: Iterable[Match] = (),
+) -> dict[FieldName, int]:
+    """Apply the §5.2 normalization steps to a raw SAT solution.
+
+    Args:
+        values: abstract header values (missing fields treated as 0).
+        rule_matches: every match whose result must be preserved — the
+            full flow table plus the catching rule.
+
+    Returns:
+        A craftable header: limited-domain fields hold wire-valid values
+        and conditionally-excluded fields are zeroed.
+
+    Raises:
+        CraftError: when a limited-domain field cannot be fixed.
+    """
+    matches = list(rule_matches)
+    normalized = {field.name: values.get(field.name, 0) for field in HEADER}
+
+    # Step 1: limited-domain substitution, parents before children so the
+    # exclusion decisions below see final parent values.
+    for field in HEADER:
+        if field.valid_values is None:
+            continue
+        if _is_excluded(normalized, field):
+            continue  # handled by step 2
+        constraints = _field_constraints(matches, field.name)
+        normalized[field.name] = _fix_limited_domain(
+            field, normalized[field.name], constraints
+        )
+
+    # Step 2: zero conditionally-excluded fields (elimination lemma).
+    for field in HEADER:
+        if field.parent is not None and _is_excluded(normalized, field):
+            normalized[field.name] = 0
+
+    return normalized
+
+
+def craft_packet(
+    values: Mapping[FieldName, int],
+    payload: bytes = b"",
+) -> bytes:
+    """Serialize a normalized abstract header into real packet bytes.
+
+    The ``in_port`` field is injection metadata, not packet content, and
+    is ignored here.
+
+    Raises:
+        CraftError: if ``dl_type`` (or ``nw_proto`` for IPv4) holds a
+            value this library cannot serialize; run
+            :func:`normalize_abstract_header` first.
+    """
+    dl_type = values.get(FieldName.DL_TYPE, 0)
+    eth_header = ethernet.EthernetHeader(
+        dst=values.get(FieldName.DL_DST, 0),
+        src=values.get(FieldName.DL_SRC, 0),
+        ethertype=dl_type,
+        vlan=values.get(FieldName.DL_VLAN, VLAN_NONE),
+        vlan_pcp=values.get(FieldName.DL_VLAN_PCP, 0),
+    )
+
+    if dl_type == ETHERTYPE_IPV4:
+        inner = _craft_ipv4(values, payload)
+    elif dl_type == ETHERTYPE_ARP:
+        inner = arp.encode_arp(
+            arp.ArpPacket(
+                opcode=arp.OP_REQUEST,
+                sender_mac=values.get(FieldName.DL_SRC, 0),
+                sender_ip=values.get(FieldName.NW_SRC, 0),
+                target_mac=0,
+                target_ip=values.get(FieldName.NW_DST, 0),
+            )
+        ) + payload
+    else:
+        raise CraftError(f"cannot craft dl_type={dl_type:#06x}")
+    return ethernet.encode_ethernet(eth_header, inner)
+
+
+def _craft_ipv4(values: Mapping[FieldName, int], payload: bytes) -> bytes:
+    nw_src = values.get(FieldName.NW_SRC, 0)
+    nw_dst = values.get(FieldName.NW_DST, 0)
+    nw_proto = values.get(FieldName.NW_PROTO, 0)
+    tp_src = values.get(FieldName.TP_SRC, 0)
+    tp_dst = values.get(FieldName.TP_DST, 0)
+
+    if nw_proto == IPPROTO_TCP:
+        inner = transport.encode_tcp(tp_src, tp_dst, payload, nw_src, nw_dst)
+    elif nw_proto == IPPROTO_UDP:
+        inner = transport.encode_udp(tp_src, tp_dst, payload, nw_src, nw_dst)
+    elif nw_proto == IPPROTO_ICMP:
+        # OpenFlow 1.0 maps ICMP type/code onto tp_src/tp_dst.
+        inner = transport.encode_icmp(tp_src & 0xFF, tp_dst & 0xFF, payload)
+    else:
+        raise CraftError(f"cannot craft nw_proto={nw_proto}")
+
+    ip_header = ipv4.Ipv4Header(
+        src=nw_src,
+        dst=nw_dst,
+        proto=nw_proto,
+        tos=values.get(FieldName.NW_TOS, 0),
+    )
+    return ipv4.encode_ipv4(ip_header, inner)

@@ -1,0 +1,90 @@
+"""Raw packet bytes -> abstract header (the inverse of crafting).
+
+Monocle uses this when a probe is caught: the PacketIn payload is parsed
+back into abstract header values so the monitor can check which rewrites
+were applied, and the probe metadata is recovered from the payload.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.fields import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    FieldName,
+)
+from repro.packets import arp, ethernet, ipv4, transport
+
+
+class ParseError(ValueError):
+    """Raised when packet bytes cannot be parsed."""
+
+
+def parse_packet(
+    raw: bytes, in_port: int = 0
+) -> tuple[dict[FieldName, int], bytes]:
+    """Parse packet bytes into (abstract header values, payload).
+
+    Args:
+        raw: the packet bytes, starting at the Ethernet header.
+        in_port: the port the packet arrived on (copied into the header).
+
+    Raises:
+        ParseError: on malformed or unsupported packets.
+    """
+    try:
+        eth, rest = ethernet.decode_ethernet(raw)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+
+    values: dict[FieldName, int] = {
+        FieldName.IN_PORT: in_port,
+        FieldName.DL_SRC: eth.src,
+        FieldName.DL_DST: eth.dst,
+        FieldName.DL_TYPE: eth.ethertype,
+        FieldName.DL_VLAN: eth.vlan,
+        FieldName.DL_VLAN_PCP: eth.vlan_pcp,
+    }
+
+    if eth.ethertype == ETHERTYPE_IPV4:
+        return _parse_ipv4(values, rest)
+    if eth.ethertype == ETHERTYPE_ARP:
+        try:
+            arp_pkt, payload = arp.decode_arp(rest)
+        except ValueError as exc:
+            raise ParseError(str(exc)) from exc
+        values[FieldName.NW_SRC] = arp_pkt.sender_ip
+        values[FieldName.NW_DST] = arp_pkt.target_ip
+        return values, payload
+    raise ParseError(f"unsupported ethertype {eth.ethertype:#06x}")
+
+
+def _parse_ipv4(
+    values: dict[FieldName, int], data: bytes
+) -> tuple[dict[FieldName, int], bytes]:
+    try:
+        ip, rest = ipv4.decode_ipv4(data)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+    values[FieldName.NW_SRC] = ip.src
+    values[FieldName.NW_DST] = ip.dst
+    values[FieldName.NW_PROTO] = ip.proto
+    values[FieldName.NW_TOS] = ip.tos
+
+    try:
+        if ip.proto == IPPROTO_TCP:
+            tp_src, tp_dst, payload = transport.decode_tcp(rest)
+        elif ip.proto == IPPROTO_UDP:
+            tp_src, tp_dst, payload = transport.decode_udp(rest)
+        elif ip.proto == IPPROTO_ICMP:
+            tp_src, tp_dst, payload = transport.decode_icmp(rest)
+        else:
+            raise ParseError(f"unsupported nw_proto {ip.proto}")
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+
+    values[FieldName.TP_SRC] = tp_src
+    values[FieldName.TP_DST] = tp_dst
+    return values, payload

@@ -1,0 +1,67 @@
+"""Probe metadata carried in packet payloads (paper §4.2).
+
+Monocle probes many rules in parallel.  A caught probe must be matched
+back to the rule it was testing, so each probe carries metadata in its
+payload — a part of the packet no OpenFlow 1.0 switch can touch.  The
+metadata records the probed switch, the rule under test (its cookie), a
+per-probe nonce and the expected outcome category.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: Magic prefix distinguishing Monocle probes from stray traffic.
+PROBE_MAGIC = b"MNCL"
+
+_FORMAT = "!4sQQIB"
+_LEN = struct.calcsize(_FORMAT)
+
+
+@dataclass(frozen=True)
+class ProbeMetadata:
+    """Metadata embedded in every probe packet's payload.
+
+    Attributes:
+        switch_id: the switch whose rule is being probed.
+        rule_cookie: cookie of the rule under test.
+        nonce: distinguishes probe generations; stale in-flight probes
+            (invalidated by a newer table state, §4.2) carry old nonces
+            and are discarded on receipt.
+        expected_drop: True when the probe should *not* come back
+            (negative probing for drop rules, §3.3).
+    """
+
+    switch_id: int
+    rule_cookie: int
+    nonce: int
+    expected_drop: bool = False
+
+    def encode(self) -> bytes:
+        """Serialize to payload bytes."""
+        return struct.pack(
+            _FORMAT,
+            PROBE_MAGIC,
+            self.switch_id,
+            self.rule_cookie,
+            self.nonce,
+            1 if self.expected_drop else 0,
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ProbeMetadata | None":
+        """Parse payload bytes; None when this is not a Monocle probe."""
+        if len(payload) < _LEN:
+            return None
+        magic, switch_id, cookie, nonce, flags = struct.unpack(
+            _FORMAT, payload[:_LEN]
+        )
+        if magic != PROBE_MAGIC:
+            return None
+        return cls(
+            switch_id=switch_id,
+            rule_cookie=cookie,
+            nonce=nonce,
+            expected_drop=bool(flags & 1),
+        )

@@ -1,0 +1,47 @@
+"""Boolean satisfiability subsystem.
+
+The paper's probe generator converts the Hit/Distinguish/Collect
+constraints into plain CNF and feeds them to PicoSAT, using a custom
+Cython conversion and the DIMACS format (§7).  This package is the
+pure-Python equivalent:
+
+* :mod:`repro.sat.cnf` — a CNF container with variable allocation and
+  flat one-dimensional clause storage (the paper found vector-of-vectors
+  allocation to be the conversion bottleneck; we keep the flat layout),
+  plus DIMACS read/write.
+* :mod:`repro.sat.encode` — formula-level building blocks: conjunction,
+  disjunction with Tseitin auxiliary variables, negation of clause lists,
+  and the quadratic Velev if-then-else chain encoding from Appendix B.
+* :mod:`repro.sat.solver` — a CDCL solver with two-watched-literal
+  propagation, first-UIP clause learning, VSIDS-style activity and
+  restarts (the PicoSAT stand-in).
+* :mod:`repro.sat.brute` — exhaustive reference solver used by the test
+  suite to validate the CDCL implementation on small instances.
+"""
+
+from repro.sat.cnf import CNF, Lit
+from repro.sat.encode import (
+    at_most_one,
+    clause_and,
+    clause_or,
+    ite_chain,
+    negate_clause,
+    negate_conjunction,
+)
+from repro.sat.solver import SatResult, SatSolver, solve
+from repro.sat.brute import brute_force_solve
+
+__all__ = [
+    "CNF",
+    "Lit",
+    "at_most_one",
+    "clause_and",
+    "clause_or",
+    "ite_chain",
+    "negate_clause",
+    "negate_conjunction",
+    "SatResult",
+    "SatSolver",
+    "solve",
+    "brute_force_solve",
+]

@@ -1,0 +1,165 @@
+"""CNF formula container and DIMACS serialization.
+
+Literals use the DIMACS convention: variable ``v`` (a positive integer)
+appears as ``v`` for the positive literal and ``-v`` for its negation.
+
+Clauses are stored in a single flat list of ints with ``0`` terminators —
+the one-dimensional layout the paper adopted after finding that nested
+vectors (one small allocation per clause) dominated conversion time (§7).
+The container hides the flat layout behind iteration helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+#: A DIMACS literal: +v or -v for variable v >= 1.
+Lit = int
+
+
+class CNF:
+    """A growable CNF formula.
+
+    Example:
+        >>> cnf = CNF()
+        >>> x, y = cnf.new_var(), cnf.new_var()
+        >>> cnf.add_clause([x, -y])
+        >>> cnf.num_clauses
+        1
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self._num_vars = num_vars
+        # Flat clause storage: literals with a 0 terminator per clause.
+        self._flat: list[int] = []
+        self._num_clauses = 0
+
+    # ----- variables ----------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index allocated so far."""
+        return self._num_vars
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def ensure_var(self, var: int) -> None:
+        """Grow the variable space to include ``var``."""
+        if var > self._num_vars:
+            self._num_vars = var
+
+    # ----- clauses --------------------------------------------------------
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses added."""
+        return self._num_clauses
+
+    def add_clause(self, literals: Iterable[Lit]) -> None:
+        """Append one clause (a disjunction of literals).
+
+        An empty clause is legal and makes the formula trivially UNSAT.
+        """
+        count_before = len(self._flat)
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.ensure_var(abs(lit))
+            self._flat.append(lit)
+        # Dedup-free append; solver tolerates duplicates.
+        del count_before
+        self._flat.append(0)
+        self._num_clauses += 1
+
+    def add_unit(self, lit: Lit) -> None:
+        """Append a unit clause."""
+        self.add_clause((lit,))
+
+    def extend(self, clauses: Iterable[Iterable[Lit]]) -> None:
+        """Append many clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def clauses(self) -> Iterator[list[Lit]]:
+        """Iterate clauses as literal lists (decoded from flat storage)."""
+        current: list[int] = []
+        for lit in self._flat:
+            if lit == 0:
+                yield current
+                current = []
+            else:
+                current.append(lit)
+
+    def copy(self) -> "CNF":
+        """Deep copy."""
+        dup = CNF(self._num_vars)
+        dup._flat = list(self._flat)
+        dup._num_clauses = self._num_clauses
+        return dup
+
+    # ----- DIMACS ---------------------------------------------------------
+
+    def to_dimacs(self) -> str:
+        """Serialize to DIMACS CNF text."""
+        lines = [f"p cnf {self._num_vars} {self._num_clauses}"]
+        for clause in self.clauses():
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def write_dimacs(self, stream: TextIO) -> None:
+        """Write DIMACS text to a stream."""
+        stream.write(self.to_dimacs())
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF text (comments and header tolerated)."""
+        cnf = cls()
+        declared_vars = 0
+        pending: list[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad DIMACS header: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    cnf.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if pending:
+            # Tolerate a final clause missing its 0 terminator.
+            cnf.add_clause(pending)
+        cnf.ensure_var(declared_vars)
+        return cnf
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a *total* assignment (var -> bool)."""
+        for clause in self.clauses():
+            satisfied = False
+            for lit in clause:
+                value = assignment[abs(lit)]
+                if (lit > 0) == value:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self._num_vars}, clauses={self._num_clauses})"

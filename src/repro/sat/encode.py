@@ -1,0 +1,140 @@
+"""CNF encoding building blocks (paper Appendix B).
+
+The probe-generation compiler needs a handful of formula operations that
+stay polynomial when converted to CNF:
+
+* conjunction of clause lists — concatenation;
+* disjunction — Tseitin transform with fresh selector variables rather
+  than distribution (which blows up exponentially);
+* negation — only of conjunctions of literals / single clauses, which is
+  all the compiler requires;
+* the if-then-else *chain* encoding of the Distinguish constraint,
+  mimicking TCAM priority evaluation, using the quadratic construction of
+  Velev cited by the paper.
+
+Each helper appends clauses to a shared :class:`~repro.sat.cnf.CNF` and
+returns, where meaningful, a literal that is true iff the encoded
+sub-formula holds (equisatisfiability via Tseitin).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sat.cnf import CNF, Lit
+
+
+def clause_and(cnf: CNF, literals: Sequence[Lit]) -> Lit:
+    """Fresh literal ``s`` with ``s <-> AND(literals)``.
+
+    Empty input yields a literal constrained to true.
+    """
+    s = cnf.new_var()
+    if not literals:
+        cnf.add_unit(s)
+        return s
+    # s -> li  for each i
+    for lit in literals:
+        cnf.add_clause((-s, lit))
+    # (l1 & ... & ln) -> s
+    cnf.add_clause([s] + [-lit for lit in literals])
+    return s
+
+
+def clause_or(cnf: CNF, literals: Sequence[Lit]) -> Lit:
+    """Fresh literal ``s`` with ``s <-> OR(literals)``.
+
+    Empty input yields a literal constrained to false.
+    """
+    s = cnf.new_var()
+    if not literals:
+        cnf.add_unit(-s)
+        return s
+    # li -> s  for each i
+    for lit in literals:
+        cnf.add_clause((-lit, s))
+    # s -> (l1 | ... | ln)
+    cnf.add_clause([-s] + list(literals))
+    return s
+
+
+def negate_clause(literals: Sequence[Lit]) -> list[list[Lit]]:
+    """CNF of ``NOT(l1 | ... | ln)``: the unit clauses ``{-li}``."""
+    return [[-lit] for lit in literals]
+
+
+def negate_conjunction(literals: Sequence[Lit]) -> list[Lit]:
+    """CNF (single clause) of ``NOT(l1 & ... & ln)``: ``(-l1 | ... | -ln)``."""
+    return [-lit for lit in literals]
+
+
+def at_most_one(cnf: CNF, literals: Sequence[Lit]) -> None:
+    """Pairwise at-most-one constraint over ``literals``."""
+    for i in range(len(literals)):
+        for j in range(i + 1, len(literals)):
+            cnf.add_clause((-literals[i], -literals[j]))
+
+
+def implies(cnf: CNF, antecedent: Lit, consequent: Lit) -> None:
+    """Add ``antecedent -> consequent``."""
+    cnf.add_clause((-antecedent, consequent))
+
+
+def ite_chain(
+    cnf: CNF,
+    branches: Sequence[tuple[Lit, Lit]],
+    else_lit: Lit,
+    max_segment: int = 16,
+) -> Lit:
+    """Encode ``s = if(i1,t1, if(i2,t2, ... , else))`` and return ``s``.
+
+    ``branches`` is a list of ``(condition_lit, then_lit)`` pairs in
+    priority order — exactly the shape of the Distinguish constraint,
+    where condition ``i_k`` is "probe matches lower-priority rule k" and
+    ``t_k`` is "rule k's outcome differs from the probed rule's".
+
+    Uses the quadratic Velev construction from Appendix B.  Because the
+    construction is quadratic in the number of branches, long chains are
+    split into segments of ``max_segment`` branches, each segment's tail
+    replaced by a fresh variable (the appendix's "substituting some
+    postfix of the chain by a fresh variable").
+    """
+    if not branches:
+        return else_lit
+    if len(branches) > max_segment:
+        head = branches[:max_segment]
+        tail_lit = ite_chain(
+            cnf, branches[max_segment:], else_lit, max_segment=max_segment
+        )
+        return ite_chain(cnf, head, tail_lit, max_segment=max_segment)
+
+    s = cnf.new_var()
+    # Velev: for branch k with guard i_k and value t_k, with all earlier
+    # guards false:
+    #   (i1..ik-1 false, ik true) -> (s <-> tk)
+    # realized as two clauses per branch; plus two for the else branch.
+    prefix: list[Lit] = []  # literals i1, i2, ... of earlier branches
+    for cond, then in branches:
+        cnf.add_clause(prefix + [-cond, -then, s])
+        cnf.add_clause(prefix + [-cond, then, -s])
+        prefix.append(cond)
+    cnf.add_clause(prefix + [-else_lit, s])
+    cnf.add_clause(prefix + [else_lit, -s])
+    return s
+
+
+def xor_lit(cnf: CNF, a: Lit, b: Lit) -> Lit:
+    """Fresh literal ``s`` with ``s <-> (a XOR b)``."""
+    s = cnf.new_var()
+    cnf.add_clause((-s, a, b))
+    cnf.add_clause((-s, -a, -b))
+    cnf.add_clause((s, -a, b))
+    cnf.add_clause((s, a, -b))
+    return s
+
+
+def constant(cnf: CNF, value: bool) -> Lit:
+    """Fresh literal pinned to ``value``."""
+    s = cnf.new_var()
+    cnf.add_unit(s if value else -s)
+    return s

@@ -1,0 +1,407 @@
+"""A CDCL SAT solver (the reproduction's PicoSAT stand-in).
+
+Implements the standard conflict-driven clause learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* non-chronological backjumping,
+* VSIDS-style exponential variable activity with decay,
+* Luby-sequence restarts,
+* phase saving.
+
+The solver is deliberately self-contained (lists of ints, no numpy) so
+its behaviour is easy to audit and to cross-check against the
+brute-force reference in :mod:`repro.sat.brute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sat.cnf import CNF
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call.
+
+    Attributes:
+        satisfiable: True / False, or None if the budget ran out.
+        assignment: var -> bool for a satisfying model (only when SAT).
+        conflicts: number of conflicts encountered.
+        decisions: number of branching decisions made.
+        propagations: number of literals assigned by unit propagation.
+        learned_clauses: number of clauses learned.
+    """
+
+    satisfiable: bool | None
+    assignment: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    if i == (1 << k) - 1:
+        return 1 << (k - 1)
+    return _luby(i - (1 << (k - 1)) + 1)
+
+
+class SatSolver:
+    """CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+
+    _UNASSIGNED = 0
+    _TRUE = 1
+    _FALSE = -1
+
+    def __init__(
+        self,
+        cnf: CNF,
+        enable_learning: bool = True,
+        enable_vsids: bool = True,
+        restart_base: int = 64,
+    ) -> None:
+        self.enable_learning = enable_learning
+        self.enable_vsids = enable_vsids
+        self.restart_base = restart_base
+
+        self.num_vars = cnf.num_vars
+        # Clause database: list of literal lists.  Index < original count
+        # means an original clause; beyond that, learned.
+        self.clauses: list[list[int]] = []
+        self._contradiction = False
+        self._pending_units: list[int] = []
+        for clause in cnf.clauses():
+            unique = self._simplify_clause(clause)
+            if unique is None:
+                continue  # tautology
+            if not unique:
+                self._contradiction = True
+            elif len(unique) == 1:
+                self._pending_units.append(unique[0])
+            else:
+                self.clauses.append(unique)
+
+        # Assignment state.
+        size = self.num_vars + 1
+        self.values = [self._UNASSIGNED] * size
+        self.levels = [0] * size
+        self.reasons: list[list[int] | None] = [None] * size
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.phase = [False] * size
+
+        # Watched literals: watch lit -> clause indices.
+        self.watches: dict[int, list[int]] = {}
+        for idx, clause in enumerate(self.clauses):
+            self._watch(clause[0], idx)
+            self._watch(clause[1], idx)
+
+        # VSIDS activity.
+        self.activity = [0.0] * size
+        self.act_inc = 1.0
+        self.act_decay = 0.95
+
+        self.stats = SatResult(satisfiable=None)
+
+    # ----- setup helpers -------------------------------------------------
+
+    @staticmethod
+    def _simplify_clause(clause: list[int]) -> list[int] | None:
+        """Drop duplicate literals; return None for tautologies."""
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in clause:
+            if -lit in seen:
+                return None
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        return out
+
+    def _watch(self, lit: int, clause_idx: int) -> None:
+        self.watches.setdefault(lit, []).append(clause_idx)
+
+    # ----- assignment ------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        value = self.values[abs(lit)]
+        if value == self._UNASSIGNED:
+            return self._UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _assign(self, lit: int, reason: list[int] | None) -> None:
+        var = abs(lit)
+        self.values[var] = self._TRUE if lit > 0 else self._FALSE
+        self.levels[var] = self._decision_level()
+        self.reasons[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+        self.stats.propagations += 1
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # ----- propagation ------------------------------------------------------
+
+    def _propagate(self, queue_start: int) -> list[int] | None:
+        """Propagate from trail position; return conflicting clause or None."""
+        i = queue_start
+        while i < len(self.trail):
+            lit = self.trail[i]
+            i += 1
+            falsified = -lit
+            watch_list = self.watches.get(falsified)
+            if not watch_list:
+                continue
+            new_watch_list: list[int] = []
+            j = 0
+            while j < len(watch_list):
+                clause_idx = watch_list[j]
+                j += 1
+                clause = self.clauses[clause_idx]
+                # Normalize: put the falsified watch at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == self._TRUE:
+                    new_watch_list.append(clause_idx)
+                    continue
+                # Find a replacement watch.
+                replaced = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != self._FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause_idx)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                # No replacement: clause is unit or conflicting.
+                new_watch_list.append(clause_idx)
+                if self._lit_value(first) == self._FALSE:
+                    new_watch_list.extend(watch_list[j:])
+                    self.watches[falsified] = new_watch_list
+                    return clause
+                self._assign(first, clause)
+            self.watches[falsified] = new_watch_list
+        return None
+
+    # ----- conflict analysis ---------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis.
+
+        Returns (learned_clause, backjump_level) with the asserting
+        literal first in the learned clause.
+        """
+        level = self._decision_level()
+        seen = [False] * (self.num_vars + 1)
+        learned: list[int] = []
+        counter = 0
+        lit = 0
+        reason: list[int] = conflict
+        index = len(self.trail)
+
+        while True:
+            for reason_lit in reason:
+                var = abs(reason_lit)
+                if reason_lit == lit or seen[var]:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self.levels[var] >= level:
+                    counter += 1
+                else:
+                    learned.append(reason_lit)
+            # Walk the trail backwards to the next marked literal.
+            while True:
+                index -= 1
+                trail_lit = self.trail[index]
+                if seen[abs(trail_lit)]:
+                    break
+            lit = trail_lit
+            counter -= 1
+            if counter == 0:
+                break
+            var_reason = self.reasons[abs(lit)]
+            assert var_reason is not None, "decision reached before UIP"
+            reason = var_reason
+        learned.insert(0, -lit)
+
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self.levels[abs(l)] for l in learned[1:])
+        # Put a literal from the backjump level in watch position 1.
+        for i in range(1, len(learned)):
+            if self.levels[abs(learned[i])] == backjump:
+                learned[1], learned[i] = learned[i], learned[1]
+                break
+        return learned, backjump
+
+    def _bump(self, var: int) -> None:
+        if not self.enable_vsids:
+            return
+        self.activity[var] += self.act_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.act_inc *= 1e-100
+
+    def _decay(self) -> None:
+        if self.enable_vsids:
+            self.act_inc /= self.act_decay
+
+    def _backjump(self, level: int) -> None:
+        while self._decision_level() > level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.values[var] = self._UNASSIGNED
+                self.reasons[var] = None
+
+    # ----- branching -----------------------------------------------------
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.values[var] == self._UNASSIGNED:
+                if not self.enable_vsids:
+                    best_var = var
+                    break
+                if self.activity[var] > best_act:
+                    best_act = self.activity[var]
+                    best_var = var
+        if best_var == 0:
+            return 0
+        return best_var if self.phase[best_var] else -best_var
+
+    # ----- main loop -------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: list[int] = (),
+        max_conflicts: int | None = None,
+    ) -> SatResult:
+        """Run the CDCL loop.
+
+        Args:
+            assumptions: literals asserted at level 0 for this call.
+            max_conflicts: optional conflict budget; exceeding it returns
+                ``satisfiable=None``.
+        """
+        if self._contradiction:
+            self.stats.satisfiable = False
+            return self.stats
+
+        for lit in self._pending_units:
+            value = self._lit_value(lit)
+            if value == self._FALSE:
+                self.stats.satisfiable = False
+                return self.stats
+            if value == self._UNASSIGNED:
+                self._assign(lit, None)
+        for lit in assumptions:
+            value = self._lit_value(lit)
+            if value == self._FALSE:
+                self.stats.satisfiable = False
+                return self.stats
+            if value == self._UNASSIGNED:
+                self._assign(lit, None)
+
+        queue_start = 0
+        restarts = 0
+        conflicts_until_restart = self.restart_base * _luby(1)
+
+        while True:
+            conflict = self._propagate(queue_start)
+            queue_start = len(self.trail)
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if self._decision_level() == 0:
+                    self.stats.satisfiable = False
+                    return self.stats
+                if (
+                    max_conflicts is not None
+                    and self.stats.conflicts > max_conflicts
+                ):
+                    self.stats.satisfiable = None
+                    return self.stats
+                if self.enable_learning:
+                    learned, backjump = self._analyze(conflict)
+                    self._backjump(backjump)
+                    if len(learned) == 1:
+                        self._assign(learned[0], None)
+                    else:
+                        self.clauses.append(learned)
+                        idx = len(self.clauses) - 1
+                        self._watch(learned[0], idx)
+                        self._watch(learned[1], idx)
+                        self._assign(learned[0], learned)
+                        self.stats.learned_clauses += 1
+                    self._decay()
+                else:
+                    # Chronological backtracking: flip the last decision.
+                    if not self.trail_lim:
+                        self.stats.satisfiable = False
+                        return self.stats
+                    limit = self.trail_lim[-1]
+                    decision = self.trail[limit]
+                    self._backjump(self._decision_level() - 1)
+                    self._assign(-decision, [-decision])
+                # Resume propagation AT the literal just asserted — it has
+                # not been propagated yet.
+                queue_start = len(self.trail) - 1
+                conflicts_until_restart -= 1
+                if self.enable_learning and conflicts_until_restart <= 0:
+                    restarts += 1
+                    conflicts_until_restart = self.restart_base * _luby(
+                        restarts + 1
+                    )
+                    self._backjump(0)
+                    queue_start = 0
+                continue
+
+            branch = self._pick_branch()
+            if branch == 0:
+                assignment = {
+                    var: self.values[var] == self._TRUE
+                    for var in range(1, self.num_vars + 1)
+                }
+                self._assert_model(assignment)
+                self.stats.satisfiable = True
+                self.stats.assignment = assignment
+                return self.stats
+            self.trail_lim.append(len(self.trail))
+            self.stats.decisions += 1
+            self._assign(branch, None)
+
+
+    def _assert_model(self, assignment: dict[int, bool]) -> None:
+        """Defensive final check: the returned model satisfies every
+        original clause.  A violation is a solver bug, not user error."""
+        for clause in self.clauses:
+            if not any(
+                (lit > 0) == assignment[abs(lit)] for lit in clause
+            ):
+                raise AssertionError(
+                    f"solver produced an invalid model; clause {clause} "
+                    "unsatisfied"
+                )
+        for lit in self._pending_units:
+            if (lit > 0) != assignment[abs(lit)]:
+                raise AssertionError(
+                    f"solver produced an invalid model; unit {lit} violated"
+                )
+
+
+def solve(cnf: CNF, **kwargs) -> SatResult:
+    """One-shot convenience wrapper: build a solver and run it."""
+    return SatSolver(cnf, **kwargs).solve()

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+All timed behaviour in the reproduction (switch control planes, link
+latencies, Monocle probing cycles, traffic generators) runs on top of this
+kernel.  It provides a deterministic event loop with a virtual clock, timer
+scheduling, and cooperative processes.
+
+The kernel is deliberately small: a binary-heap scheduler plus a couple of
+convenience wrappers.  Determinism matters more than raw throughput here —
+the paper's experiments are about *orderings* of control-plane and
+data-plane events, and a deterministic kernel makes those orderings
+reproducible and testable.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.random import DeterministicRandom
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "DeterministicRandom",
+]

@@ -1,0 +1,40 @@
+"""Virtual clock used by the simulator.
+
+Time is a float measured in seconds.  The clock only moves forward and is
+advanced exclusively by the simulation kernel when it dispatches events.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic virtual clock.
+
+    The clock starts at zero.  Only the simulation kernel should call
+    :meth:`advance`; everything else treats the clock as read-only.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance(self, to: float) -> None:
+        """Move the clock forward to ``to`` seconds.
+
+        Raises:
+            ValueError: if ``to`` is earlier than the current time.
+        """
+        if to < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested={to}"
+            )
+        self._now = to
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

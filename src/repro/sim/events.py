@@ -1,0 +1,70 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+Events are ordered by ``(time, sequence)`` where the sequence number is a
+monotonically increasing tie-breaker.  Ties in time therefore dispatch in
+scheduling order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which the callback fires.
+        seq: tie-breaker assigned by the queue; schedule order wins ties.
+        action: zero-argument callable run when the event is dispatched.
+        cancelled: a cancelled event stays in the heap but is skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

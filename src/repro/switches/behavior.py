@@ -1,0 +1,90 @@
+"""Switch behaviour models: how acknowledgments relate to the data plane.
+
+The paper's central premise is that switches lie: they acknowledge rule
+installation before the data plane honours it, and some reorder updates
+([16]).  A :class:`Behavior` decides, for each accepted FlowMod, when
+the data plane actually changes and when barriers are answered.
+"""
+
+from __future__ import annotations
+
+from repro.sim.random import DeterministicRandom
+from repro.switches.profiles import SwitchProfile
+
+
+class Behavior:
+    """Base behaviour: how a switch schedules data-plane installs.
+
+    Subclasses override :meth:`install_delay` (extra delay between
+    control-plane acceptance and data-plane effect) and
+    :meth:`barrier_waits_for_dataplane`.
+    """
+
+    def __init__(self, profile: SwitchProfile, rng: DeterministicRandom) -> None:
+        self.profile = profile
+        self.rng = rng
+
+    def install_delay(self) -> float:
+        """Seconds between control-plane acceptance and data-plane effect."""
+        return self.rng.jittered(
+            self.profile.install_latency, self.profile.install_jitter
+        )
+
+    def barrier_waits_for_dataplane(self) -> bool:
+        """True when BarrierReply implies the data plane is current."""
+        return not self.profile.premature_ack
+
+    def preserves_order(self) -> bool:
+        """True when data-plane installs happen in FlowMod order."""
+        return not self.profile.reorders
+
+
+class FaithfulBehavior(Behavior):
+    """Honest switch: barriers cover the data plane, order preserved."""
+
+    def barrier_waits_for_dataplane(self) -> bool:
+        return True
+
+    def preserves_order(self) -> bool:
+        return True
+
+
+class PrematureAckBehavior(Behavior):
+    """HP-5406zl-like: processes FlowMods in order but acknowledges
+    barriers while data-plane installs are still pending ([16])."""
+
+    def barrier_waits_for_dataplane(self) -> bool:
+        return False
+
+    def preserves_order(self) -> bool:
+        return True
+
+
+class ReorderingBehavior(Behavior):
+    """Pica8-like: premature barriers *and* out-of-order data-plane
+    application, modelled as heavy-tailed per-rule install delays ([16])."""
+
+    #: Fraction of installs hit by a long tail, and its extra delay span.
+    TAIL_PROBABILITY = 0.2
+    TAIL_EXTRA = 0.25
+
+    def install_delay(self) -> float:
+        delay = super().install_delay()
+        if self.rng.random() < self.TAIL_PROBABILITY:
+            delay += self.rng.uniform(0.0, self.TAIL_EXTRA)
+        return delay
+
+    def barrier_waits_for_dataplane(self) -> bool:
+        return False
+
+    def preserves_order(self) -> bool:
+        return False
+
+
+def behavior_for(profile: SwitchProfile, rng: DeterministicRandom) -> Behavior:
+    """The behaviour class matching a profile's flags."""
+    if profile.reorders:
+        return ReorderingBehavior(profile, rng)
+    if profile.premature_ack:
+        return PrematureAckBehavior(profile, rng)
+    return FaithfulBehavior(profile, rng)

@@ -1,0 +1,362 @@
+"""The simulated OpenFlow switch.
+
+Separates the *control plane* (a serial message processor with
+per-message costs from the :class:`~repro.switches.profiles.SwitchProfile`)
+from the *data plane* (a flow table that lags behind by the behaviour
+model's install delay).  This split is what lets the reproduction
+exhibit the transient control/data-plane inconsistencies the paper
+monitors for.
+
+Fault injection (silently removing or corrupting data-plane rules,
+failing ports) implements the §8.1.1 failure scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.openflow.actions import CONTROLLER_PORT
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FlowMod,
+    FlowModCommand,
+    Message,
+    PacketIn,
+    PacketOut,
+)
+from repro.openflow.rule import Rule
+from repro.openflow.table import FlowTable
+from repro.packets.craft import craft_packet
+from repro.packets.parse import ParseError, parse_packet
+from repro.sim.kernel import Simulator
+from repro.sim.random import DeterministicRandom
+from repro.switches.behavior import Behavior, behavior_for
+from repro.switches.profiles import OVS, SwitchProfile
+
+#: Data-plane forwarding latency through the switch fabric (seconds).
+FABRIC_LATENCY = 0.0001
+
+
+def apply_flowmod(table: FlowTable, mod: FlowMod) -> list[Rule]:
+    """Apply OpenFlow 1.0 FlowMod semantics to a table.
+
+    Returns the rules that were installed (for ADD/MODIFY) or removed
+    (for DELETE); used by callers tracking expected state.
+    """
+    command = mod.command
+    if command is FlowModCommand.ADD:
+        rule = Rule(
+            priority=mod.priority,
+            match=mod.match,
+            actions=mod.actions,
+            cookie=mod.cookie,
+        )
+        table.install(rule)
+        return [rule]
+    if command in (FlowModCommand.MODIFY, FlowModCommand.MODIFY_STRICT):
+        if command is FlowModCommand.MODIFY_STRICT:
+            targets = []
+            existing = table.get(mod.priority, mod.match)
+            if existing is not None:
+                targets = [existing]
+        else:
+            targets = [r for r in table.rules() if mod.match.covers(r.match)]
+        if not targets:
+            # Per OF 1.0: MODIFY with no matching rule behaves like ADD.
+            rule = Rule(
+                priority=mod.priority,
+                match=mod.match,
+                actions=mod.actions,
+                cookie=mod.cookie,
+            )
+            table.install(rule)
+            return [rule]
+        updated = []
+        for target in targets:
+            new_rule = target.with_actions(mod.actions)
+            table.install(new_rule)
+            updated.append(new_rule)
+        return updated
+    if command is FlowModCommand.DELETE:
+        return table.remove_matching(mod.match)
+    if command is FlowModCommand.DELETE_STRICT:
+        return table.remove_matching(mod.match, strict_priority=mod.priority)
+    raise ValueError(f"unknown FlowMod command {command}")
+
+
+@dataclass
+class SwitchStats:
+    """Counters exposed for the overhead benchmarks (Figures 6 and 7)."""
+
+    flowmods_processed: int = 0
+    packetouts_processed: int = 0
+    barriers_processed: int = 0
+    packetins_sent: int = 0
+    packetins_dropped: int = 0
+    packets_forwarded: int = 0
+    packets_dropped: int = 0
+    parse_errors: int = 0
+
+
+class SimulatedSwitch:
+    """One switch: serial control plane + lagging data plane.
+
+    Wiring: the network attaches per-port packet handlers via
+    :meth:`attach_port`; the control channel sets
+    :attr:`send_to_controller` and delivers messages through
+    :meth:`receive_message`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch_id: int,
+        profile: SwitchProfile = OVS,
+        rng: DeterministicRandom | None = None,
+        num_ports: int = 48,
+        behavior: Behavior | None = None,
+    ) -> None:
+        self.sim = sim
+        self.switch_id = switch_id
+        self.profile = profile
+        self.rng = rng if rng is not None else DeterministicRandom(switch_id)
+        self.behavior = (
+            behavior
+            if behavior is not None
+            else behavior_for(profile, self.rng.fork(1))
+        )
+        self.num_ports = num_ports
+
+        #: Rules the control plane has accepted (what the switch reports).
+        self.control_table = FlowTable(check_overlap=False)
+        #: Rules the data plane actually applies.
+        self.dataplane = FlowTable(check_overlap=False)
+
+        self.stats = SwitchStats()
+        self.send_to_controller: Callable[[Message], None] | None = None
+        self._ports: dict[int, Callable[[bytes], None]] = {}
+        self._dead_ports: set[int] = set()
+
+        # Control-plane serial processor state.
+        self._queue: list[Message] = []
+        self._busy = False
+        self._stolen_cpu = 0.0  # PacketIn interference, consumed lazily
+        self._pending_installs = 0
+        self._last_install_time = 0.0
+        self._install_seq = 0
+
+        # PacketIn token bucket.
+        self._pi_tokens = profile.packetin_rate
+        self._pi_last_refill = sim.now
+
+    # ----- wiring ----------------------------------------------------------
+
+    def attach_port(self, port: int, handler: Callable[[bytes], None]) -> None:
+        """Connect ``port`` to a link; handler receives raw egress bytes."""
+        if not 1 <= port <= self.num_ports:
+            raise ValueError(f"port {port} out of range 1..{self.num_ports}")
+        self._ports[port] = handler
+
+    def attached_ports(self) -> list[int]:
+        """Ports with a link attached (candidates for probe in_port)."""
+        return sorted(self._ports)
+
+    # ----- control plane ------------------------------------------------
+
+    def receive_message(self, msg: Message) -> None:
+        """Called by the control channel when a message arrives."""
+        self._queue.append(msg)
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        msg = self._queue[0]
+        cost = self._processing_cost(msg) + self._stolen_cpu
+        self._stolen_cpu = 0.0
+        self.sim.schedule(cost, self._finish_current)
+
+    def _processing_cost(self, msg: Message) -> float:
+        if isinstance(msg, FlowMod):
+            return self.profile.flowmod_cost
+        if isinstance(msg, PacketOut):
+            return self.profile.packetout_cost
+        if isinstance(msg, BarrierRequest):
+            return self.profile.barrier_cost
+        return self.profile.barrier_cost  # echoes and friends are cheap
+
+    def _finish_current(self) -> None:
+        msg = self._queue.pop(0)
+        if isinstance(msg, FlowMod):
+            self._complete_flowmod(msg)
+        elif isinstance(msg, PacketOut):
+            self._complete_packetout(msg)
+        elif isinstance(msg, BarrierRequest):
+            self._complete_barrier(msg)
+        elif isinstance(msg, EchoRequest):
+            self._reply(EchoReply(xid=msg.xid))
+        self._start_next()
+
+    def _complete_flowmod(self, mod: FlowMod) -> None:
+        self.stats.flowmods_processed += 1
+        apply_flowmod(self.control_table, mod)
+        delay = self.behavior.install_delay()
+        if self.behavior.preserves_order():
+            # In-order switches cannot apply an install before earlier
+            # ones; enforce monotonic data-plane apply times.
+            apply_at = max(self.sim.now + delay, self._last_install_time)
+            self._last_install_time = apply_at
+        else:
+            apply_at = self.sim.now + delay
+        self._pending_installs += 1
+        self._install_seq += 1
+        self.sim.at(apply_at, lambda m=mod: self._apply_to_dataplane(m))
+
+    def _apply_to_dataplane(self, mod: FlowMod) -> None:
+        apply_flowmod(self.dataplane, mod)
+        self._pending_installs -= 1
+
+    def _complete_packetout(self, msg: PacketOut) -> None:
+        self.stats.packetouts_processed += 1
+        self._emit(msg.payload, msg.out_port)
+
+    def _complete_barrier(self, msg: BarrierRequest) -> None:
+        self.stats.barriers_processed += 1
+        if (
+            self.behavior.barrier_waits_for_dataplane()
+            and self._pending_installs > 0
+        ):
+            # Honest switch: hold the reply until the data plane caught
+            # up with everything accepted so far.
+            self._wait_for_dataplane(msg)
+        else:
+            self._reply(BarrierReply(xid=msg.xid))
+
+    def _wait_for_dataplane(self, msg: BarrierRequest) -> None:
+        if self._pending_installs == 0:
+            self._reply(BarrierReply(xid=msg.xid))
+        else:
+            self.sim.schedule(0.0005, lambda: self._wait_for_dataplane(msg))
+
+    def _reply(self, msg: Message) -> None:
+        if self.send_to_controller is not None:
+            self.send_to_controller(msg)
+
+    @property
+    def dataplane_synced(self) -> bool:
+        """True when no accepted FlowMod is still pending installation."""
+        return self._pending_installs == 0
+
+    # ----- data plane ------------------------------------------------------
+
+    def inject(self, raw: bytes, in_port: int) -> None:
+        """A packet arrives on ``in_port`` (from a link or a host)."""
+        try:
+            values, payload = parse_packet(raw, in_port=in_port)
+        except ParseError:
+            self.stats.parse_errors += 1
+            return
+        outcome = self.dataplane.process(
+            values,
+            ecmp_chooser=lambda rule: self.rng.choose(
+                sorted(rule.forwarding_set())
+            ),
+        )
+        if outcome.is_drop():
+            self.stats.packets_dropped += 1
+            return
+        for port, header_items in outcome.emissions:
+            out_values = dict(header_items)
+            out_values[FieldName.IN_PORT] = 0  # not meaningful on egress
+            out_raw = craft_packet(out_values, payload)
+            if port == CONTROLLER_PORT:
+                self.sim.schedule(
+                    FABRIC_LATENCY,
+                    lambda r=out_raw, p=in_port: self._emit_packetin(r, p),
+                )
+            else:
+                self.sim.schedule(
+                    FABRIC_LATENCY, lambda p=port, r=out_raw: self._emit(r, p)
+                )
+
+    def _emit(self, raw: bytes, port: int) -> None:
+        if port == CONTROLLER_PORT:
+            self._emit_packetin(raw, in_port=0)
+            return
+        if port in self._dead_ports:
+            self.stats.packets_dropped += 1
+            return
+        handler = self._ports.get(port)
+        if handler is None:
+            self.stats.packets_dropped += 1
+            return
+        self.stats.packets_forwarded += 1
+        handler(raw)
+
+    def _emit_packetin(self, raw: bytes, in_port: int) -> None:
+        """Send a PacketIn, subject to the profile's rate cap."""
+        self._refill_pi_tokens()
+        if self._pi_tokens < 1.0:
+            self.stats.packetins_dropped += 1
+            return
+        self._pi_tokens -= 1.0
+        self.stats.packetins_sent += 1
+        # PacketIn handling steals a sliver of control CPU (Figure 7).
+        if self.profile.packetin_rate > 0:
+            self._stolen_cpu += (
+                self.profile.packetin_interference / self.profile.packetin_rate
+            )
+        self._reply(PacketIn(payload=raw, in_port=in_port))
+
+    def _refill_pi_tokens(self) -> None:
+        elapsed = self.sim.now - self._pi_last_refill
+        self._pi_last_refill = self.sim.now
+        self._pi_tokens = min(
+            self.profile.packetin_rate,
+            self._pi_tokens + elapsed * self.profile.packetin_rate,
+        )
+
+    def deliver_to_controller_port(self, raw: bytes, in_port: int) -> None:
+        """Data-plane packet destined to the controller (catch rules)."""
+        self._emit_packetin(raw, in_port=in_port)
+
+    # ----- fault injection -----------------------------------------------
+
+    def fail_rule_in_dataplane(self, rule: Rule) -> bool:
+        """Silently remove a rule from the data plane only (§8.1.1)."""
+        return self.dataplane.remove(rule)
+
+    def corrupt_rule_in_dataplane(self, rule: Rule, actions) -> None:
+        """Replace a data-plane rule's actions without telling anyone."""
+        existing = self.dataplane.get(rule.priority, rule.match)
+        if existing is None:
+            raise KeyError(f"rule not in dataplane: {rule!r}")
+        self.dataplane.install(existing.with_actions(actions))
+
+    def fail_port(self, port: int) -> None:
+        """All packets emitted on ``port`` vanish (link failure)."""
+        self._dead_ports.add(port)
+
+    def restore_port(self, port: int) -> None:
+        """Undo :meth:`fail_port`."""
+        self._dead_ports.discard(port)
+
+    def install_directly(self, rule: Rule) -> None:
+        """Install a rule in both planes instantly (test/pre-setup)."""
+        self.control_table.install(rule)
+        self.dataplane.install(rule)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedSwitch(id={self.switch_id}, {self.profile.name}, "
+            f"rules={len(self.control_table)})"
+        )

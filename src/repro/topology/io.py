@@ -1,0 +1,36 @@
+"""Minimal edge-list topology I/O.
+
+Format: one edge per line, two whitespace-separated node names;
+``#``-prefixed comment lines and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import networkx as nx
+
+
+def read_edgelist(path: str | Path) -> nx.Graph:
+    """Load a topology from an edge-list file."""
+    graph = nx.Graph()
+    text = Path(path).read_text()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"{path}:{line_number}: expected two node names, got {line!r}"
+            )
+        graph.add_edge(parts[0], parts[1])
+    return graph
+
+
+def write_edgelist(graph: nx.Graph, path: str | Path) -> None:
+    """Write a topology as an edge-list file (sorted, deterministic)."""
+    lines = [f"# {graph.graph.get('name', 'topology')}"]
+    for u, v in sorted(graph.edges, key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f"{u} {v}")
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,201 @@
+"""Tests for the reference controller and two-phase consistent updates."""
+
+import networkx as nx
+
+from repro.controller import ConfirmMode, ConsistentPathUpdate, SdnController
+from repro.core.dynamic import UpdateAck
+from repro.core.monitor import MonitorConfig
+from repro.core.multiplexer import MonocleSystem
+from repro.network import Network
+from repro.openflow.actions import output
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowModCommand
+from repro.sim.kernel import Simulator
+from repro.switches.profiles import HP_5406ZL, OVS
+from repro.topology.generators import triangle
+
+
+def direct_setup():
+    """Controller wired straight to switch channels (no Monocle)."""
+    sim = Simulator()
+    net = Network(sim, triangle(), seed=5)
+    controller = SdnController(sim, send=lambda node, msg: net.channel(node).send_down(msg))
+    for node in net.switches:
+        net.channel(node).up_handler = (
+            lambda msg, n=node: controller.handle_message(n, msg)
+        )
+    return sim, net, controller
+
+
+def monocle_setup(probed="s3"):
+    sim = Simulator()
+    profiles = lambda n: HP_5406ZL if n == probed else OVS
+    net = Network(sim, triangle(), profiles=profiles, seed=5)
+    controller_box = {}
+    system = MonocleSystem(
+        net,
+        dynamic=True,
+        controller_handler=lambda node, msg: controller_box["c"].handle_message(node, msg),
+    )
+    controller = SdnController(sim, send=system.send_to_switch)
+    controller_box["c"] = controller
+    return sim, net, system, controller
+
+
+class TestRuleInstallation:
+    def test_none_mode_confirms_immediately(self):
+        sim, net, controller = direct_setup()
+        confirmed = []
+        controller.install_rule(
+            "s1",
+            Match.build(nw_dst=1),
+            10,
+            output(1),
+            confirm=ConfirmMode.NONE,
+            on_confirmed=lambda: confirmed.append(sim.now),
+        )
+        assert confirmed == [0.0]
+
+    def test_barrier_mode_waits_for_reply(self):
+        sim, net, controller = direct_setup()
+        confirmed = []
+        controller.install_rule(
+            "s1",
+            Match.build(nw_dst=1),
+            10,
+            output(1),
+            confirm=ConfirmMode.BARRIER,
+            on_confirmed=lambda: confirmed.append(sim.now),
+        )
+        assert confirmed == []
+        sim.run_for(1.0)
+        assert len(confirmed) == 1
+        assert confirmed[0] > 0
+
+    def test_monocle_ack_mode(self):
+        sim, net, system, controller = monocle_setup()
+        confirmed = []
+        controller.install_rule(
+            "s3",
+            Match.build(nw_dst=0x0A000001),
+            100,
+            output(net.port_toward["s3"]["s1"]),
+            confirm=ConfirmMode.MONOCLE_ACK,
+            on_confirmed=lambda: confirmed.append(sim.now),
+        )
+        sim.run_for(3.0)
+        assert len(confirmed) == 1
+        # The rule is genuinely in the data plane at confirmation time.
+        assert net.switch("s3").dataplane.get(
+            100, Match.build(nw_dst=0x0A000001)
+        ) is not None
+
+
+class TestPathInstallation:
+    def test_rules_along_path(self):
+        sim, net, controller = direct_setup()
+        match = Match.build(nw_dst=0x0A000002)
+        controller.install_path(
+            path=["s1", "s3", "s2"],
+            match=match,
+            priority=50,
+            port_toward=net.port_toward,
+            final_port=47,
+            confirm=ConfirmMode.NONE,
+        )
+        sim.run_for(1.0)
+        assert net.switch("s1").control_table.get(50, match) is not None
+        assert net.switch("s3").control_table.get(50, match) is not None
+        rule_s2 = net.switch("s2").control_table.get(50, match)
+        assert rule_s2.forwarding_set() == {47}
+
+    def test_skip_ingress(self):
+        sim, net, controller = direct_setup()
+        match = Match.build(nw_dst=0x0A000003)
+        controller.install_path(
+            path=["s1", "s3", "s2"],
+            match=match,
+            priority=50,
+            port_toward=net.port_toward,
+            final_port=47,
+            skip_ingress=True,
+        )
+        sim.run_for(1.0)
+        assert net.switch("s1").control_table.get(50, match) is None
+        assert net.switch("s3").control_table.get(50, match) is not None
+
+    def test_all_confirmed_callback(self):
+        sim, net, controller = direct_setup()
+        done = []
+        controller.install_path(
+            path=["s1", "s3", "s2"],
+            match=Match.build(nw_dst=4),
+            priority=50,
+            port_toward=net.port_toward,
+            final_port=47,
+            confirm=ConfirmMode.BARRIER,
+            on_all_confirmed=lambda: done.append(sim.now),
+        )
+        sim.run_for(2.0)
+        assert len(done) == 1
+
+
+class TestConsistentUpdate:
+    def run_update(self, confirm_mode, with_monocle):
+        if with_monocle:
+            sim, net, system, controller = monocle_setup()
+        else:
+            sim, net, controller = direct_setup()
+        match = Match.build(nw_dst=0x0A000002)
+        # Old path: s1 -> s2 directly.
+        controller.install_rule(
+            "s1", match, 50, output(net.port_toward["s1"]["s2"]),
+        )
+        sim.run_for(1.0)
+        update = ConsistentPathUpdate(
+            controller=controller,
+            match=match,
+            priority=50,
+            old_path=["s1", "s2"],
+            new_path=["s1", "s3", "s2"],
+            port_toward=net.port_toward,
+            final_port=47,
+            confirm=confirm_mode,
+        )
+        update.start()
+        sim.run_for(5.0)
+        return sim, net, update
+
+    def test_barrier_update_completes(self):
+        sim, net, update = self.run_update(ConfirmMode.BARRIER, with_monocle=False)
+        assert update.done
+        ingress = net.switch("s1").control_table.get(
+            50, Match.build(nw_dst=0x0A000002)
+        )
+        assert ingress.forwarding_set() == {net.port_toward["s1"]["s3"]}
+
+    def test_monocle_update_ingress_after_dataplane(self):
+        sim, net, update = self.run_update(
+            ConfirmMode.MONOCLE_ACK, with_monocle=True
+        )
+        assert update.done
+        # With Monocle, phase 2 begins only after S3's data plane holds
+        # the rule; the blackhole window is gone by construction.
+        assert update.phase1_confirmed > update.phase1_started
+
+    def test_mismatched_ingress_rejected(self):
+        import pytest
+
+        sim, net, controller = direct_setup()
+        update = ConsistentPathUpdate(
+            controller=controller,
+            match=Match.build(nw_dst=1),
+            priority=5,
+            old_path=["s1", "s2"],
+            new_path=["s2", "s3"],
+            port_toward=net.port_toward,
+            final_port=1,
+        )
+        with pytest.raises(ValueError):
+            update.start()

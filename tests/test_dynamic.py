@@ -1,0 +1,217 @@
+"""Tests for dynamic (reconfiguration) monitoring: update confirmation,
+transient tolerance, overlap queueing, deletions, modifications and
+drop-postponing (§4)."""
+
+import networkx as nx
+
+from repro.core.dynamic import UpdateAck
+from repro.core.monitor import MonitorConfig
+from repro.core.multiplexer import MonocleSystem
+from repro.network import Network
+from repro.openflow.actions import drop, output
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.rule import Rule
+from repro.sim.kernel import Simulator
+from repro.switches.profiles import HP_5406ZL, OVS, PICA8
+from repro.topology.generators import triangle
+
+
+def setup(probed_profile=HP_5406ZL, seed=7, **config_kwargs):
+    sim = Simulator()
+    profiles = lambda n: probed_profile if n == "s3" else OVS
+    net = Network(sim, triangle(), profiles=profiles, seed=seed)
+    acks = []
+    system = MonocleSystem(
+        net,
+        config=MonitorConfig(**config_kwargs),
+        dynamic=True,
+        controller_handler=lambda node, msg: acks.append((sim.now, node, msg))
+        if isinstance(msg, UpdateAck)
+        else None,
+    )
+    return sim, net, system, acks
+
+
+def add_mod(net, dst, to="s1", priority=100):
+    port = net.port_toward["s3"][to]
+    return FlowMod(
+        command=FlowModCommand.ADD,
+        match=Match.build(nw_dst=dst),
+        priority=priority,
+        actions=output(port),
+    )
+
+
+class TestAddConfirmation:
+    def test_ack_after_real_dataplane_install(self):
+        sim, net, system, acks = setup()
+        switch = net.switch("s3")
+        install_times = []
+        original = switch._apply_to_dataplane
+        switch._apply_to_dataplane = lambda m: (
+            install_times.append(sim.now),
+            original(m),
+        )[1]
+        mod = add_mod(net, 0x0A000001)
+        system.send_to_switch("s3", mod)
+        sim.run_for(2.0)
+        assert len(acks) == 1
+        assert acks[0][2].flowmod_xid == mod.xid
+        # The ack came AFTER the data plane actually installed the rule.
+        assert acks[0][0] >= install_times[0]
+        # ... and within "several ms" of it.
+        assert acks[0][0] - install_times[0] < 0.020
+
+    def test_transient_absence_not_alarmed(self):
+        sim, net, system, acks = setup()
+        system.send_to_switch("s3", add_mod(net, 0x0A000001))
+        sim.run_for(2.0)
+        assert system.monitor("s3").alarms == []
+
+    def test_reordering_switch_confirmations(self):
+        sim, net, system, acks = setup(probed_profile=PICA8)
+        mods = [add_mod(net, 0x0A000000 + i) for i in range(10)]
+        for mod in mods:
+            system.send_to_switch("s3", mod)
+        sim.run_for(5.0)
+        assert len(acks) == 10
+        assert system.dynamics["s3"].updates_confirmed == 10
+
+    def test_multiple_nonoverlapping_updates_in_parallel(self):
+        sim, net, system, acks = setup()
+        for i in range(5):
+            system.send_to_switch("s3", add_mod(net, 0x0A000000 + i))
+        # All five forwarded immediately (no queueing): distinct dsts.
+        assert system.dynamics["s3"].queue == []
+        sim.run_for(3.0)
+        assert len(acks) == 5
+
+
+class TestOverlapQueueing:
+    def test_overlapping_update_queued_until_confirmed(self):
+        sim, net, system, acks = setup()
+        base = add_mod(net, 0x0A000001, priority=100)
+        # Overlapping: wildcard dst covers the first rule's match.
+        overlapping = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.wildcard(),
+            priority=50,
+            actions=output(net.port_toward["s3"]["s2"]),
+        )
+        system.send_to_switch("s3", base)
+        system.send_to_switch("s3", overlapping)
+        dynamic = system.dynamics["s3"]
+        assert len(dynamic.queue) == 1
+        # The queued FlowMod must not have reached the switch yet.
+        sim.run_for(0.010)
+        assert net.switch("s3").control_table.get(50, Match.wildcard()) is None
+        sim.run_for(5.0)
+        assert dynamic.queue == []
+        assert len(acks) == 2
+        assert net.switch("s3").control_table.get(50, Match.wildcard()) is not None
+
+    def test_queue_respects_pairwise_overlaps(self):
+        sim, net, system, acks = setup()
+        system.send_to_switch("s3", add_mod(net, 0x0A000001, priority=100))
+        # Two queued mods that overlap each other: release order must
+        # keep the second queued until the first confirms.
+        for priority in (50, 60):
+            system.send_to_switch(
+                "s3",
+                FlowMod(
+                    command=FlowModCommand.ADD,
+                    match=Match.wildcard(),
+                    priority=priority,
+                    actions=output(net.port_toward["s3"]["s2"]),
+                ),
+            )
+        assert len(system.dynamics["s3"].queue) == 2
+        sim.run_for(8.0)
+        assert len(acks) == 3
+
+
+class TestDeletion:
+    def test_delete_confirmed_when_dataplane_updates(self):
+        sim, net, system, acks = setup()
+        mod = add_mod(net, 0x0A000001)
+        system.send_to_switch("s3", mod)
+        sim.run_for(2.0)
+        assert len(acks) == 1
+        delete = FlowMod(
+            command=FlowModCommand.DELETE_STRICT,
+            match=mod.match,
+            priority=mod.priority,
+        )
+        system.send_to_switch("s3", delete)
+        sim.run_for(3.0)
+        assert len(acks) == 2
+        assert net.switch("s3").dataplane.get(mod.priority, mod.match) is None
+
+    def test_delete_of_unknown_rule_acked_immediately(self):
+        sim, net, system, acks = setup()
+        delete = FlowMod(
+            command=FlowModCommand.DELETE_STRICT,
+            match=Match.build(nw_dst=0x0BADBEEF),
+            priority=77,
+        )
+        system.send_to_switch("s3", delete)
+        sim.run_for(1.0)
+        assert len(acks) == 1
+
+
+class TestModification:
+    def test_modify_confirmed_on_new_actions(self):
+        sim, net, system, acks = setup()
+        mod = add_mod(net, 0x0A000001, to="s1")
+        system.send_to_switch("s3", mod)
+        sim.run_for(2.0)
+        modify = FlowMod(
+            command=FlowModCommand.MODIFY_STRICT,
+            match=mod.match,
+            priority=mod.priority,
+            actions=output(net.port_toward["s3"]["s2"]),
+        )
+        system.send_to_switch("s3", modify)
+        sim.run_for(3.0)
+        assert len(acks) == 2
+        dataplane_rule = net.switch("s3").dataplane.get(mod.priority, mod.match)
+        assert dataplane_rule.forwarding_set() == {
+            net.port_toward["s3"]["s2"]
+        }
+
+
+class TestDropPostponing:
+    def test_drop_rule_positively_confirmed_and_finalized(self):
+        sim = Simulator()
+        profiles = lambda n: HP_5406ZL if n == "s3" else OVS
+        net = Network(sim, triangle(), profiles=profiles, seed=11)
+        acks = []
+        system = MonocleSystem(
+            net,
+            dynamic=True,
+            use_drop_postponing=True,
+            controller_handler=lambda node, msg: acks.append(msg)
+            if isinstance(msg, UpdateAck)
+            else None,
+        )
+        # Pre-install the neighbor tag-drop rules (deployment step).
+        from repro.core.droppostpone import tag_drop_rule
+
+        for node in ("s1", "s2", "s3"):
+            system.preinstall_production_rule(node, tag_drop_rule())
+
+        mod = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.build(nw_dst=0x0A000009),
+            priority=100,
+            actions=drop(),
+        )
+        system.send_to_switch("s3", mod)
+        sim.run_for(5.0)
+        assert len(acks) == 1
+        # After finalization the dataplane rule must be a real drop.
+        final = net.switch("s3").dataplane.get(100, mod.match)
+        assert final is not None
+        assert final.forwarding_set() == frozenset()

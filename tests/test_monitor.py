@@ -1,0 +1,197 @@
+"""Tests for the Monitor proxy: expected-table tracking, steady-state
+cycling, probe confirmation and alarms — over a real simulated star."""
+
+import networkx as nx
+import pytest
+
+from repro.core.monitor import MonitorConfig, outcome_observations
+from repro.core.multiplexer import MonocleSystem
+from repro.openflow.actions import drop, output
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.rule import Rule, RuleOutcome
+from repro.network import Network
+from repro.sim.kernel import Simulator
+from repro.topology.generators import star
+
+
+def star_setup(num_rules=20, probe_rate=500.0, dynamic=False, seed=3):
+    sim = Simulator()
+    net = Network(sim, star(4), seed=seed)
+    system = MonocleSystem(
+        net, config=MonitorConfig(probe_rate=probe_rate), dynamic=dynamic
+    )
+    rules = []
+    for i in range(num_rules):
+        leaf = f"leaf{i % 4}"
+        rule = Rule(
+            priority=100,
+            match=Match.build(nw_dst=0x0A000000 + i),
+            actions=output(net.port_toward["hub"][leaf]),
+        )
+        system.preinstall_production_rule("hub", rule)
+        rules.append(rule)
+    return sim, net, system, rules
+
+
+class TestOutcomeObservations:
+    def test_restriction_to_observable_ports(self):
+        outcome = RuleOutcome(emissions=((1, ()), (9, ())))
+        observations = outcome_observations(outcome, frozenset({1}))
+        assert {port for port, _ in observations} == {1}
+
+    def test_in_port_stripped(self):
+        outcome = RuleOutcome(
+            emissions=((1, ((FieldName.IN_PORT, 4), (FieldName.NW_TOS, 2))),)
+        )
+        ((port, items),) = outcome_observations(outcome, None)
+        assert FieldName.IN_PORT not in dict(items)
+        assert dict(items)[FieldName.NW_TOS] == 2
+
+
+class TestExpectedTableTracking:
+    def test_flowmods_tracked_and_forwarded(self):
+        sim, net, system, _ = star_setup(num_rules=0)
+        monitor = system.monitor("hub")
+        mod = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.build(nw_dst=0x0A000063),
+            priority=50,
+            actions=output(1),
+        )
+        monitor.from_controller(mod)
+        sim.run_for(0.5)
+        assert monitor.expected.get(50, mod.match) is not None
+        assert net.switch("hub").control_table.get(50, mod.match) is not None
+
+    def test_delete_tracked(self):
+        sim, net, system, rules = star_setup(num_rules=3)
+        monitor = system.monitor("hub")
+        mod = FlowMod(
+            command=FlowModCommand.DELETE_STRICT,
+            match=rules[0].match,
+            priority=rules[0].priority,
+        )
+        monitor.from_controller(mod)
+        assert monitor.expected.get(rules[0].priority, rules[0].match) is None
+
+    def test_probe_cache_invalidated_by_overlap(self):
+        sim, net, system, rules = star_setup(num_rules=2)
+        monitor = system.monitor("hub")
+        first = monitor.probe_for_rule(rules[0])
+        assert monitor.probe_for_rule(rules[0]) is first  # cached
+        overlapping = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.wildcard(),
+            priority=10,
+            actions=output(1),
+        )
+        monitor.observe_flowmod(overlapping)
+        assert monitor.probe_for_rule(rules[0]) is not first
+
+
+class TestSteadyState:
+    def test_healthy_rules_confirmed(self):
+        sim, net, system, _ = star_setup(num_rules=12)
+        system.monitor("hub").start_steady_state()
+        sim.run_for(0.5)
+        monitor = system.monitor("hub")
+        assert monitor.probes_sent > 0
+        assert monitor.probes_confirmed > 0
+        assert monitor.alarms == []
+        assert monitor.probes_timed_out == 0
+
+    def test_failed_rule_alarms(self):
+        sim, net, system, rules = star_setup(num_rules=12)
+        system.monitor("hub").start_steady_state()
+        sim.run_for(0.2)
+        net.switch("hub").fail_rule_in_dataplane(rules[5])
+        failure_time = sim.now
+        sim.run_for(1.0)
+        alarms = system.monitor("hub").alarms
+        assert alarms
+        assert alarms[0].rule.cookie == rules[5].cookie
+        # Detection within cycle time (12 rules / 500 per s) + timeout.
+        assert alarms[0].time - failure_time < 0.5
+
+    def test_misbehaving_rule_alarms(self):
+        sim, net, system, rules = star_setup(num_rules=8)
+        system.monitor("hub").start_steady_state()
+        sim.run_for(0.2)
+        # Corrupt: rule forwards to the wrong leaf.
+        wrong_port = net.port_toward["hub"]["leaf3"]
+        target = rules[0]
+        if target.forwarding_set() == {wrong_port}:
+            wrong_port = net.port_toward["hub"]["leaf2"]
+        net.switch("hub").corrupt_rule_in_dataplane(target, output(wrong_port))
+        sim.run_for(1.0)
+        alarms = system.monitor("hub").alarms
+        assert alarms
+        assert alarms[0].rule.cookie == target.cookie
+        assert alarms[0].kind == "misbehaving"
+
+    def test_cycle_skips_catch_rules(self):
+        sim, net, system, _ = star_setup(num_rules=4)
+        monitor = system.monitor("hub")
+        monitor.start_steady_state()
+        monitor._rebuild_cycle()
+        from repro.core.catching import CATCH_PRIORITY
+
+        for key in monitor._cycle_keys:
+            assert key[0] != CATCH_PRIORITY
+
+    def test_stop_steady_state(self):
+        sim, net, system, _ = star_setup(num_rules=6)
+        monitor = system.monitor("hub")
+        monitor.start_steady_state()
+        sim.run_for(0.2)
+        monitor.stop_steady_state()
+        sent = monitor.probes_sent
+        sim.run_for(0.5)
+        assert monitor.probes_sent == sent
+
+    def test_probe_rate_respected(self):
+        sim, net, system, _ = star_setup(num_rules=12, probe_rate=100.0)
+        system.monitor("hub").start_steady_state()
+        sim.run_for(1.0)
+        monitor = system.monitor("hub")
+        # <= rate * time (+retries which only happen on failures).
+        assert monitor.probes_sent <= 110
+
+    def test_negative_probe_for_drop_rule(self):
+        sim, net, system, rules = star_setup(num_rules=4)
+        drop_rule = Rule(
+            priority=200, match=Match.build(nw_dst=0x0A0000FF), actions=drop()
+        )
+        system.preinstall_production_rule("hub", drop_rule)
+        monitor = system.monitor("hub")
+        result = monitor.probe_for_rule(drop_rule)
+        # Drop over forwarding-free table region: absent -> miss-drop,
+        # so unmonitorable... unless a default exists.  Install default.
+        default = Rule(priority=1, match=Match.wildcard(), actions=output(
+            net.port_toward["hub"]["leaf0"]))
+        system.preinstall_production_rule("hub", default)
+        result = monitor.probe_for_rule(drop_rule)
+        assert result.ok
+        assert not result.expects_return()
+        monitor.start_steady_state()
+        sim.run_for(1.0)
+        # Healthy drop rule: silence is success, no alarms for it.
+        assert all(a.rule.cookie != drop_rule.cookie for a in monitor.alarms)
+
+
+class TestUnmonitorableHandling:
+    def test_shadowed_rule_skipped_not_alarmed(self):
+        sim, net, system, rules = star_setup(num_rules=2)
+        shadowed = Rule(
+            priority=10,  # below rules[0] (100), same match
+            match=rules[0].match,
+            actions=output(net.port_toward["hub"]["leaf1"]),
+        )
+        system.preinstall_production_rule("hub", shadowed)
+        monitor = system.monitor("hub")
+        monitor.start_steady_state()
+        sim.run_for(0.5)
+        assert monitor.rules_unmonitorable > 0
+        assert all(a.rule.cookie != shadowed.cookie for a in monitor.alarms)

@@ -1,0 +1,207 @@
+"""Tests for the Multiplexer and MonocleSystem wiring (§6/§7)."""
+
+import networkx as nx
+
+from repro.core.monitor import MonitorConfig
+from repro.core.multiplexer import MonocleSystem, Multiplexer
+from repro.network import Network
+from repro.openflow.actions import CONTROLLER_PORT, output
+from repro.openflow.match import Match
+from repro.openflow.messages import EchoRequest, FlowMod, FlowModCommand, PacketIn
+from repro.openflow.rule import Rule
+from repro.packets.craft import craft_packet
+from repro.packets.payload import ProbeMetadata
+from repro.sim.kernel import Simulator
+from repro.topology.generators import star, triangle
+
+
+def make_system(**kwargs):
+    sim = Simulator()
+    net = Network(sim, triangle(), seed=2)
+    upstream = []
+    system = MonocleSystem(
+        net,
+        dynamic=False,
+        controller_handler=lambda node, msg: upstream.append((node, msg)),
+        **kwargs,
+    )
+    return sim, net, system, upstream
+
+
+class TestDeployment:
+    def test_monitor_per_switch(self):
+        _, net, system, _ = make_system()
+        assert set(system.monitors) == set(net.switches)
+
+    def test_catch_rules_installed_everywhere(self):
+        _, net, system, _ = make_system()
+        for node in net.switches:
+            rules = system.plan.catching_rules(node)
+            for rule in rules:
+                assert net.switch(node).dataplane.get(rule.priority, rule.match)
+                assert system.monitors[node].expected.get(
+                    rule.priority, rule.match
+                )
+
+    def test_switch_numbers_registered(self):
+        _, net, system, _ = make_system()
+        for node in net.switches:
+            number = net.switch_number(node)
+            assert system.multiplexer.monitors[number][0] == node
+
+
+class TestInjection:
+    def test_inject_reaches_probed_switch_on_right_port(self):
+        sim, net, system, _ = make_system()
+        target_port = net.port_toward["s3"]["s1"]
+        seen = []
+        switch3 = net.switch("s3")
+        original = switch3.inject
+        switch3.inject = lambda raw, in_port: seen.append(in_port) or original(
+            raw, in_port
+        )
+        packet = craft_packet(
+            {
+                __import__("repro.openflow.fields", fromlist=["FieldName"]).FieldName.DL_TYPE: 0x0800,
+                __import__("repro.openflow.fields", fromlist=["FieldName"]).FieldName.NW_PROTO: 17,
+            },
+            b"x",
+        )
+        system.multiplexer.inject("s3", packet, target_port)
+        sim.run_for(0.1)
+        assert seen == [target_port]
+
+    def test_unroutable_port_counted(self):
+        sim, net, system, _ = make_system()
+        system.multiplexer.inject("s3", b"payload", in_port=99)
+        assert system.multiplexer.probes_unroutable == 1
+
+
+class TestPacketInRouting:
+    def test_foreign_packetins_reach_controller(self):
+        sim, net, system, upstream = make_system()
+        # A production rule sends traffic to the controller.
+        rule = Rule(
+            priority=100,
+            match=Match.build(nw_dst=0x0A000042),
+            actions=output(CONTROLLER_PORT),
+        )
+        system.preinstall_production_rule("s1", rule)
+        from repro.openflow.fields import FieldName
+
+        raw = craft_packet(
+            {
+                FieldName.DL_TYPE: 0x0800,
+                FieldName.NW_PROTO: 17,
+                FieldName.NW_DST: 0x0A000042,
+            },
+            b"production",
+        )
+        net.switch("s1").inject(raw, in_port=net.port_toward["s1"]["s2"])
+        sim.run_for(0.1)
+        packet_ins = [
+            (node, msg)
+            for node, msg in upstream
+            if isinstance(msg, PacketIn)
+        ]
+        assert len(packet_ins) == 1
+        assert packet_ins[0][0] == "s1"
+
+    def test_stale_probe_metadata_not_forwarded(self):
+        sim, net, system, upstream = make_system()
+        from repro.openflow.fields import FieldName
+
+        # A probe-looking packet whose nonce no monitor knows.
+        meta = ProbeMetadata(switch_id=net.switch_number("s1"), rule_cookie=1, nonce=999999)
+        raw = craft_packet(
+            {FieldName.DL_TYPE: 0x0800, FieldName.NW_PROTO: 17},
+            meta.encode(),
+        )
+        system._from_switch("s2", PacketIn(payload=raw, in_port=1))
+        # Routed to s1's monitor (registered) but stale there; never
+        # surfaces to the controller.
+        assert system.monitors["s1"].stale_probes == 1
+        assert not any(isinstance(m, PacketIn) for _n, m in upstream)
+
+    def test_unknown_switch_id_counted_unroutable(self):
+        sim, net, system, upstream = make_system()
+        from repro.openflow.fields import FieldName
+
+        meta = ProbeMetadata(switch_id=777, rule_cookie=1, nonce=5)
+        raw = craft_packet(
+            {FieldName.DL_TYPE: 0x0800, FieldName.NW_PROTO: 17},
+            meta.encode(),
+        )
+        system._from_switch("s2", PacketIn(payload=raw, in_port=1))
+        assert system.multiplexer.probes_unroutable == 1
+
+
+class TestControllerPassThrough:
+    def test_non_flowmod_messages_forwarded_down(self):
+        sim, net, system, _ = make_system()
+        system.send_to_switch("s1", EchoRequest(xid=4))
+        sim.run_for(0.1)
+        # EchoReply comes back up through the monitor to the controller.
+
+    def test_flowmods_update_expected_table(self):
+        sim, net, system, _ = make_system()
+        mod = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.build(nw_dst=1),
+            priority=10,
+            actions=output(net.port_toward["s1"]["s2"]),
+        )
+        system.send_to_switch("s1", mod)
+        assert system.monitors["s1"].expected.get(10, mod.match) is not None
+
+    def test_total_alarms_sorted(self):
+        sim, net, system, _ = make_system()
+        from repro.core.monitor import MonitorAlarm
+
+        system.monitors["s1"].alarms.append(
+            MonitorAlarm(time=2.0, rule=None, kind="missing")
+        )
+        system.monitors["s2"].alarms.append(
+            MonitorAlarm(time=1.0, rule=None, kind="missing")
+        )
+        alarms = system.total_alarms()
+        assert [a.time for a in alarms] == [1.0, 2.0]
+
+
+class TestEgressObservability:
+    def test_host_facing_rule_unmonitorable(self):
+        """A rule forwarding only to a host port can't be probed: the
+        probe would exit the network (§3.5 egress rules)."""
+        sim = Simulator()
+        net = Network(sim, star(2), seed=4)
+        net.add_host("h1", "hub")
+        system = MonocleSystem(net, dynamic=False)
+        host_port = net.port_toward["hub"]["h1"]
+        rule = Rule(
+            priority=100,
+            match=Match.build(nw_dst=0x0A000001),
+            actions=output(host_port),
+        )
+        system.preinstall_production_rule("hub", rule)
+        default = Rule(
+            priority=1,
+            match=Match.wildcard(),
+            actions=output(net.port_toward["hub"]["leaf0"]),
+        )
+        system.preinstall_production_rule("hub", default)
+        result = system.monitors["hub"].probe_for_rule(rule)
+        # Present outcome emits only on the host port (unobservable);
+        # absent outcome emits toward leaf0 — still distinguishable by
+        # where/if the probe comes back, so Monocle can monitor it as a
+        # negative probe... unless the absent outcome is also invisible.
+        # Either way the result must be consistent with observability.
+        if result.ok:
+            from repro.core.monitor import outcome_observations
+
+            present = outcome_observations(
+                result.outcome_present, system.monitors["hub"].observable_ports
+            )
+            absent = outcome_observations(
+                result.outcome_absent, system.monitors["hub"].observable_ports
+            )
+            assert present != absent or bool(present) != bool(absent)

@@ -1,0 +1,258 @@
+"""Tests for flow-table semantics: priority lookup, FlowMod-style
+mutation, overlap queries, and outcome processing."""
+
+import pytest
+
+from repro.openflow.actions import drop, ecmp, multicast, output
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.rule import Rule, RuleOutcome
+from repro.openflow.table import FlowTable, OverlapError
+
+
+def header(**kwargs):
+    return {FieldName(k): v for k, v in kwargs.items()}
+
+
+class TestLookup:
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        low = Rule(priority=1, match=Match.wildcard(), actions=output(1))
+        high = Rule(priority=9, match=Match.build(nw_src=5), actions=output(2))
+        table.install(low)
+        table.install(high)
+        assert table.lookup(header(nw_src=5)) is high
+        assert table.lookup(header(nw_src=6)) is low
+
+    def test_miss_returns_none(self):
+        table = FlowTable()
+        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
+        assert table.lookup(header(nw_src=2)) is None
+
+    def test_lookup_agrees_with_linear_scan(self):
+        # Reference property: lookup == max-priority matching rule.
+        table = FlowTable(check_overlap=False)
+        rules = [
+            Rule(priority=p, match=Match.build(nw_dst=(0x0A000000, p % 9)), actions=output(p % 4 + 1))
+            for p in range(1, 30)
+        ]
+        for rule in rules:
+            table.install(rule)
+        probe = header(nw_dst=0x0A000001)
+        expected = max(
+            (r for r in rules if r.match.matches(probe)),
+            key=lambda r: r.priority,
+            default=None,
+        )
+        assert table.lookup(probe) is expected
+
+
+class TestInstallSemantics:
+    def test_replaces_same_key(self):
+        table = FlowTable()
+        match = Match.build(nw_src=1)
+        table.install(Rule(priority=5, match=match, actions=output(1)))
+        table.install(Rule(priority=5, match=match, actions=output(2)))
+        assert len(table) == 1
+        assert table.lookup(header(nw_src=1)).forwarding_set() == {2}
+
+    def test_equal_priority_overlap_rejected(self):
+        table = FlowTable()
+        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
+        with pytest.raises(OverlapError):
+            table.install(Rule(priority=5, match=Match.wildcard(), actions=output(2)))
+
+    def test_equal_priority_disjoint_allowed(self):
+        table = FlowTable()
+        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
+        table.install(Rule(priority=5, match=Match.build(nw_src=2), actions=output(2)))
+        assert len(table) == 2
+
+    def test_overlap_check_can_be_disabled(self):
+        table = FlowTable(check_overlap=False)
+        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
+        table.install(Rule(priority=5, match=Match.wildcard(), actions=output(2)))
+        assert len(table) == 2
+
+    def test_rules_sorted_desc_priority(self):
+        table = FlowTable()
+        for priority in (3, 9, 1, 5):
+            table.install(
+                Rule(priority=priority, match=Match.build(nw_src=priority), actions=output(1))
+            )
+        assert [r.priority for r in table.rules()] == [9, 5, 3, 1]
+
+
+class TestRemoval:
+    def test_remove_by_key(self):
+        table = FlowTable()
+        rule = Rule(priority=5, match=Match.build(nw_src=1), actions=output(1))
+        table.install(rule)
+        assert table.remove(rule)
+        assert len(table) == 0
+        assert not table.remove(rule)
+
+    def test_remove_matching_nonstrict_covers(self):
+        table = FlowTable(check_overlap=False)
+        inside = Rule(priority=5, match=Match.build(nw_dst=(0x0A000000, 24)), actions=output(1))
+        outside = Rule(priority=6, match=Match.build(nw_dst=(0x0B000000, 24)), actions=output(1))
+        table.install(inside)
+        table.install(outside)
+        removed = table.remove_matching(Match.build(nw_dst=(0x0A000000, 8)))
+        assert removed == [inside]
+        assert len(table) == 1
+
+    def test_remove_matching_strict(self):
+        table = FlowTable()
+        match = Match.build(nw_src=1)
+        rule = Rule(priority=5, match=match, actions=output(1))
+        table.install(rule)
+        assert table.remove_matching(match, strict_priority=4) == []
+        assert table.remove_matching(match, strict_priority=5) == [rule]
+
+    def test_clear(self):
+        table = FlowTable()
+        table.install(Rule(priority=1, match=Match.wildcard(), actions=drop()))
+        table.clear()
+        assert len(table) == 0
+
+
+class TestQueries:
+    def test_higher_and_lower_priority(self):
+        table = FlowTable(check_overlap=False)
+        rules = {
+            p: Rule(priority=p, match=Match.build(nw_src=1), actions=output(1))
+            for p in (1, 5, 9)
+        }
+        for rule in rules.values():
+            table.install(rule)
+        assert table.higher_priority(rules[5]) == [rules[9]]
+        assert table.lower_priority(rules[5]) == [rules[1]]
+
+    def test_overlapping_filter(self):
+        table = FlowTable(check_overlap=False)
+        a = Rule(priority=1, match=Match.build(nw_src=1), actions=output(1))
+        b = Rule(priority=2, match=Match.build(nw_src=2), actions=output(1))
+        c = Rule(priority=3, match=Match.wildcard(), actions=output(1))
+        for rule in (a, b, c):
+            table.install(rule)
+        overlapping = table.overlapping(Match.build(nw_src=1))
+        assert a in overlapping and c in overlapping and b not in overlapping
+
+    def test_overlapping_cache_invalidated_on_mutation(self):
+        table = FlowTable(check_overlap=False)
+        a = Rule(priority=1, match=Match.build(nw_src=1), actions=output(1))
+        table.install(a)
+        assert table.overlapping(Match.build(nw_src=1)) == [a]
+        b = Rule(priority=2, match=Match.wildcard(), actions=output(2))
+        table.install(b)
+        assert set(
+            r.cookie for r in table.overlapping(Match.build(nw_src=1))
+        ) == {a.cookie, b.cookie}
+        table.remove(a)
+        assert table.overlapping(Match.build(nw_src=1)) == [b]
+
+    def test_copy_independent(self):
+        table = FlowTable()
+        rule = Rule(priority=5, match=Match.build(nw_src=1), actions=output(1))
+        table.install(rule)
+        dup = table.copy()
+        dup.remove(rule)
+        assert len(table) == 1
+        assert len(dup) == 0
+
+    def test_contains(self):
+        table = FlowTable()
+        rule = Rule(priority=5, match=Match.build(nw_src=1), actions=output(1))
+        table.install(rule)
+        assert rule in table
+
+
+class TestProcess:
+    def test_unicast_emission(self):
+        table = FlowTable()
+        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(3)))
+        outcome = table.process(header(nw_src=1))
+        assert outcome.ports() == {3}
+        assert not outcome.is_drop()
+
+    def test_drop_outcome(self):
+        table = FlowTable()
+        table.install(Rule(priority=5, match=Match.wildcard(), actions=drop()))
+        assert table.process(header(nw_src=1)).is_drop()
+
+    def test_miss_drops(self):
+        table = FlowTable()
+        assert table.process(header(nw_src=1)).is_drop()
+
+    def test_rewrite_applied_to_emission(self):
+        table = FlowTable()
+        table.install(
+            Rule(priority=5, match=Match.build(nw_src=1), actions=output(2, nw_tos=0x15))
+        )
+        outcome = table.process(header(nw_src=1, nw_tos=0))
+        (port, items), = outcome.emissions
+        assert port == 2
+        assert dict(items)[FieldName.NW_TOS] == 0x15
+
+    def test_multicast_emits_on_all_ports(self):
+        table = FlowTable()
+        table.install(
+            Rule(priority=5, match=Match.wildcard(), actions=multicast([1, 2, 3]))
+        )
+        assert table.process(header()).ports() == {1, 2, 3}
+
+    def test_ecmp_chooser_selects_single_port(self):
+        table = FlowTable()
+        table.install(Rule(priority=5, match=Match.wildcard(), actions=ecmp([4, 7])))
+        outcome = table.process(header(), ecmp_chooser=lambda rule: 7)
+        assert outcome.ports() == {7}
+        assert not outcome.ecmp
+
+    def test_ecmp_default_chooser_lowest(self):
+        table = FlowTable()
+        table.install(Rule(priority=5, match=Match.wildcard(), actions=ecmp([4, 7])))
+        assert table.process(header()).ports() == {4}
+
+
+class TestRuleOutcomeDistinguishability:
+    def test_different_ports_distinguishable(self):
+        a = RuleOutcome(emissions=((1, ()),))
+        b = RuleOutcome(emissions=((2, ()),))
+        assert a.distinguishable_from(b)
+
+    def test_same_emissions_not_distinguishable(self):
+        a = RuleOutcome(emissions=((1, ()),))
+        b = RuleOutcome(emissions=((1, ()),))
+        assert not a.distinguishable_from(b)
+
+    def test_drop_vs_forward_distinguishable(self):
+        assert RuleOutcome.dropped().distinguishable_from(
+            RuleOutcome(emissions=((1, ()),))
+        )
+
+    def test_ecmp_vs_ecmp_shared_port_ambiguous(self):
+        a = RuleOutcome(emissions=((1, ()), (2, ())), ecmp=True)
+        b = RuleOutcome(emissions=((2, ()), (3, ())), ecmp=True)
+        assert not a.distinguishable_from(b)
+
+    def test_ecmp_vs_ecmp_disjoint_distinguishable(self):
+        a = RuleOutcome(emissions=((1, ()),), ecmp=True)
+        b = RuleOutcome(emissions=((2, ()),), ecmp=True)
+        assert a.distinguishable_from(b)
+
+    def test_unicast_inside_ecmp_set_ambiguous(self):
+        unicast = RuleOutcome(emissions=((2, ()),))
+        group = RuleOutcome(emissions=((1, ()), (2, ())), ecmp=True)
+        assert not unicast.distinguishable_from(group)
+        assert not group.distinguishable_from(unicast)
+
+    def test_multicast_vs_ecmp_count_exception(self):
+        # A 2-port multicast inside the ECMP set: packet count differs.
+        multi = RuleOutcome(emissions=((1, ()), (2, ())))
+        group = RuleOutcome(emissions=((1, ()), (2, ())), ecmp=True)
+        assert multi.distinguishable_from(group)
+
+    def test_drop_vs_ecmp_distinguishable(self):
+        group = RuleOutcome(emissions=((1, ()),), ecmp=True)
+        assert RuleOutcome.dropped().distinguishable_from(group)

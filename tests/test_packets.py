@@ -1,0 +1,308 @@
+"""Tests for packet crafting and parsing: protocol round trips,
+checksums, and the §5.2 normalization lemmas."""
+
+import pytest
+
+from repro.openflow.fields import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    VLAN_NONE,
+    FieldName,
+)
+from repro.openflow.match import Match
+from repro.packets import arp, ethernet, ipv4, transport
+from repro.packets.checksum import internet_checksum, verify_checksum
+from repro.packets.craft import (
+    CraftError,
+    craft_packet,
+    normalize_abstract_header,
+)
+from repro.packets.parse import ParseError, parse_packet
+from repro.packets.payload import ProbeMetadata
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Canonical example from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+    def test_verify_with_embedded_checksum(self):
+        data = bytes([0x00, 0x01, 0xF2, 0x03])
+        checksum = internet_checksum(data)
+        full = data + checksum.to_bytes(2, "big")
+        assert verify_checksum(full)
+
+
+class TestEthernet:
+    def test_untagged_roundtrip(self):
+        header = ethernet.EthernetHeader(
+            dst=0x112233445566, src=0xAABBCCDDEEFF, ethertype=ETHERTYPE_IPV4
+        )
+        frame = ethernet.encode_ethernet(header, b"payload")
+        decoded, rest = ethernet.decode_ethernet(frame)
+        assert decoded == header
+        assert rest == b"payload"
+
+    def test_vlan_tag_roundtrip(self):
+        header = ethernet.EthernetHeader(
+            dst=1, src=2, ethertype=ETHERTYPE_IPV4, vlan=0xF03, vlan_pcp=5
+        )
+        frame = ethernet.encode_ethernet(header, b"x")
+        decoded, rest = ethernet.decode_ethernet(frame)
+        assert decoded.vlan == 0xF03
+        assert decoded.vlan_pcp == 5
+        assert decoded.ethertype == ETHERTYPE_IPV4
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ValueError):
+            ethernet.decode_ethernet(b"short")
+
+    def test_mac_to_str(self):
+        assert ethernet.mac_to_str(0xAABBCCDDEEFF) == "aa:bb:cc:dd:ee:ff"
+
+
+class TestIpv4:
+    def test_roundtrip_and_checksum(self):
+        header = ipv4.Ipv4Header(
+            src=0x0A000001, dst=0x0A000002, proto=IPPROTO_TCP, tos=0x2A
+        )
+        packet = ipv4.encode_ipv4(header, b"data")
+        decoded, rest = ipv4.decode_ipv4(packet)
+        assert decoded.src == header.src
+        assert decoded.dst == header.dst
+        assert decoded.proto == IPPROTO_TCP
+        assert decoded.tos == 0x2A
+        assert rest == b"data"
+
+    def test_corrupted_checksum_rejected(self):
+        packet = bytearray(
+            ipv4.encode_ipv4(
+                ipv4.Ipv4Header(src=1, dst=2, proto=6), b""
+            )
+        )
+        packet[12] ^= 0xFF
+        with pytest.raises(ValueError):
+            ipv4.decode_ipv4(bytes(packet))
+
+    def test_ip_string_conversions(self):
+        assert ipv4.ip_to_str(0x0A000001) == "10.0.0.1"
+        assert ipv4.str_to_ip("10.0.0.1") == 0x0A000001
+        with pytest.raises(ValueError):
+            ipv4.str_to_ip("10.0.0")
+        with pytest.raises(ValueError):
+            ipv4.str_to_ip("10.0.0.999")
+
+
+class TestTransport:
+    def test_tcp_roundtrip(self):
+        segment = transport.encode_tcp(1234, 443, b"hello", 1, 2)
+        src, dst, payload = transport.decode_tcp(segment)
+        assert (src, dst, payload) == (1234, 443, b"hello")
+
+    def test_udp_roundtrip(self):
+        datagram = transport.encode_udp(53, 5353, b"query", 1, 2)
+        src, dst, payload = transport.decode_udp(datagram)
+        assert (src, dst, payload) == (53, 5353, b"query")
+
+    def test_icmp_roundtrip(self):
+        message = transport.encode_icmp(8, 0, b"ping")
+        icmp_type, icmp_code, payload = transport.decode_icmp(message)
+        assert (icmp_type, icmp_code, payload) == (8, 0, b"ping")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            transport.decode_tcp(b"abc")
+        with pytest.raises(ValueError):
+            transport.decode_udp(b"abc")
+        with pytest.raises(ValueError):
+            transport.decode_icmp(b"abc")
+
+
+class TestArp:
+    def test_roundtrip(self):
+        packet = arp.ArpPacket(
+            opcode=arp.OP_REQUEST,
+            sender_mac=0xAABBCCDDEEFF,
+            sender_ip=0x0A000001,
+            target_mac=0,
+            target_ip=0x0A000002,
+        )
+        decoded, rest = arp.decode_arp(arp.encode_arp(packet) + b"tail")
+        assert decoded == packet
+        assert rest == b"tail"
+
+
+class TestCraftParseRoundtrip:
+    def full_header(self, proto):
+        return {
+            FieldName.IN_PORT: 0,
+            FieldName.DL_SRC: 0x020000000001,
+            FieldName.DL_DST: 0x020000000002,
+            FieldName.DL_TYPE: ETHERTYPE_IPV4,
+            FieldName.DL_VLAN: 0xF03,
+            FieldName.DL_VLAN_PCP: 0,
+            FieldName.NW_SRC: 0x0A000001,
+            FieldName.NW_DST: 0x0A000002,
+            FieldName.NW_PROTO: proto,
+            FieldName.NW_TOS: 0x15,
+            FieldName.TP_SRC: 1234,
+            FieldName.TP_DST: 80,
+        }
+
+    @pytest.mark.parametrize("proto", [IPPROTO_TCP, IPPROTO_UDP, IPPROTO_ICMP])
+    def test_ipv4_roundtrip(self, proto):
+        header = self.full_header(proto)
+        if proto == IPPROTO_ICMP:
+            header[FieldName.TP_SRC] = 8
+            header[FieldName.TP_DST] = 0
+        raw = craft_packet(header, b"meta")
+        values, payload = parse_packet(raw, in_port=7)
+        assert payload == b"meta"
+        assert values[FieldName.IN_PORT] == 7
+        for name in (
+            FieldName.DL_SRC,
+            FieldName.DL_DST,
+            FieldName.DL_VLAN,
+            FieldName.NW_SRC,
+            FieldName.NW_DST,
+            FieldName.NW_PROTO,
+            FieldName.NW_TOS,
+            FieldName.TP_SRC,
+            FieldName.TP_DST,
+        ):
+            assert values[name] == header[name], name
+
+    def test_untagged_when_vlan_none(self):
+        header = self.full_header(IPPROTO_TCP)
+        header[FieldName.DL_VLAN] = VLAN_NONE
+        raw = craft_packet(header)
+        values, _ = parse_packet(raw)
+        assert values[FieldName.DL_VLAN] == VLAN_NONE
+
+    def test_arp_roundtrip(self):
+        header = {
+            FieldName.DL_SRC: 1,
+            FieldName.DL_DST: 2,
+            FieldName.DL_TYPE: ETHERTYPE_ARP,
+            FieldName.DL_VLAN: VLAN_NONE,
+            FieldName.NW_SRC: 0x0A000001,
+            FieldName.NW_DST: 0x0A000002,
+        }
+        raw = craft_packet(header, b"p")
+        values, payload = parse_packet(raw)
+        assert values[FieldName.NW_SRC] == 0x0A000001
+        assert values[FieldName.NW_DST] == 0x0A000002
+        assert payload == b"p"
+
+    def test_uncraftable_ethertype(self):
+        with pytest.raises(CraftError):
+            craft_packet({FieldName.DL_TYPE: 0x1234})
+
+    def test_uncraftable_proto(self):
+        header = self.full_header(99)
+        with pytest.raises(CraftError):
+            craft_packet(header)
+
+    def test_parse_garbage(self):
+        with pytest.raises(ParseError):
+            parse_packet(b"\x00" * 5)
+
+
+class TestNormalization:
+    def test_invalid_dl_type_replaced_with_valid(self):
+        values = {FieldName.DL_TYPE: 0x1234}
+        normalized = normalize_abstract_header(values, [])
+        assert normalized[FieldName.DL_TYPE] in (ETHERTYPE_IPV4, ETHERTYPE_ARP)
+
+    def test_substitution_preserves_matches(self):
+        # §5.2 lemma: swapping an invalid value for the spare one must
+        # not change Matches(probe, R) for any rule match R.
+        matches = [
+            Match.build(dl_type=ETHERTYPE_IPV4, nw_src=1),
+            Match.build(nw_dst=2),
+            Match.wildcard(),
+        ]
+        values = {FieldName.DL_TYPE: 0x9999, FieldName.NW_SRC: 1}
+        before = [m.matches(values) for m in matches]
+        normalized = normalize_abstract_header(values, matches)
+        after = [m.matches(normalized) for m in matches]
+        # dl_type was invalid: no rule can exact-match it, so results on
+        # rules that matched before must be preserved.
+        assert before == after
+
+    def test_pinned_domain_unsatisfiable(self):
+        # Every valid dl_type is used by some rule with a different
+        # match result than the invalid original: no safe substitute.
+        matches = [
+            Match.build(dl_type=ETHERTYPE_IPV4),
+            Match.build(dl_type=ETHERTYPE_ARP),
+        ]
+        values = {FieldName.DL_TYPE: 0x9999}
+        with pytest.raises(CraftError):
+            normalize_abstract_header(values, matches)
+
+    def test_conditionally_excluded_fields_zeroed(self):
+        values = {
+            FieldName.DL_TYPE: ETHERTYPE_ARP,
+            FieldName.NW_PROTO: IPPROTO_TCP,
+            FieldName.NW_TOS: 7,
+            FieldName.TP_SRC: 80,
+        }
+        normalized = normalize_abstract_header(values, [])
+        # ARP has no nw_proto/nw_tos/tp_* in our model.
+        assert normalized[FieldName.NW_PROTO] == 0
+        assert normalized[FieldName.NW_TOS] == 0
+        assert normalized[FieldName.TP_SRC] == 0
+
+    def test_transport_ports_zeroed_for_bad_proto(self):
+        values = {
+            FieldName.DL_TYPE: ETHERTYPE_IPV4,
+            FieldName.NW_PROTO: IPPROTO_TCP,
+            FieldName.TP_SRC: 80,
+        }
+        normalized = normalize_abstract_header(values, [])
+        assert normalized[FieldName.TP_SRC] == 80  # TCP keeps its ports
+        values[FieldName.NW_PROTO] = 99
+        normalized = normalize_abstract_header(
+            values, [Match.build(nw_proto=IPPROTO_UDP)]
+        )
+        # proto fixed to a valid value that preserves the (non-)match;
+        # ICMP/TCP both avoid matching the UDP rule.
+        assert normalized[FieldName.NW_PROTO] in (IPPROTO_TCP, IPPROTO_ICMP)
+
+    def test_normalized_header_is_craftable(self):
+        values = {FieldName.DL_TYPE: 0xDEAD, FieldName.NW_PROTO: 0xFE}
+        normalized = normalize_abstract_header(values, [])
+        raw = craft_packet(normalized)
+        parsed, _ = parse_packet(raw)
+        assert parsed[FieldName.DL_TYPE] == normalized[FieldName.DL_TYPE]
+
+
+class TestProbeMetadata:
+    def test_roundtrip(self):
+        meta = ProbeMetadata(
+            switch_id=7, rule_cookie=123456789, nonce=42, expected_drop=True
+        )
+        decoded = ProbeMetadata.decode(meta.encode())
+        assert decoded == meta
+
+    def test_non_probe_payload(self):
+        assert ProbeMetadata.decode(b"not a probe payload....") is None
+        assert ProbeMetadata.decode(b"") is None
+
+    def test_survives_packet_roundtrip(self):
+        meta = ProbeMetadata(switch_id=1, rule_cookie=2, nonce=3)
+        header = {
+            FieldName.DL_TYPE: ETHERTYPE_IPV4,
+            FieldName.NW_PROTO: IPPROTO_UDP,
+        }
+        raw = craft_packet(header, meta.encode())
+        _, payload = parse_packet(raw)
+        assert ProbeMetadata.decode(payload) == meta

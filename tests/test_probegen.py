@@ -1,0 +1,256 @@
+"""Tests for the probe generator: end-to-end Table 1 compliance,
+unmonitorable detection, rule-kind coverage, and the §5.4 filter."""
+
+import pytest
+
+from repro.core.probegen import (
+    ProbeGenerator,
+    UnmonitorableReason,
+    expected_outcomes,
+    verify_probe,
+)
+from repro.openflow.actions import drop, ecmp, multicast, output
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.rule import Rule
+from repro.openflow.table import FlowTable
+
+CATCH = Match.build(dl_vlan=0xF03)
+SRC = 0x0A000001
+DST = 0x0A000002
+
+
+def generator(**kwargs):
+    return ProbeGenerator(catch_match=CATCH, **kwargs)
+
+
+def table_of(*rules):
+    table = FlowTable(check_overlap=False)
+    for rule in rules:
+        table.install(rule)
+    return table
+
+
+class TestBasicUnicast:
+    def test_simple_rule_over_default(self):
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        table = table_of(probed, default)
+        result = generator().generate(table, probed)
+        assert result.ok
+        assert verify_probe(table, probed, result.header, CATCH) == (True, "ok")
+        assert result.header[FieldName.DL_VLAN] == 0xF03
+        assert result.packet is not None and len(result.packet) > 20
+
+    def test_paper_3_1_example(self):
+        rlowest = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        rlower = Rule(priority=5, match=Match.build(nw_src=SRC), actions=output(2))
+        rprobed = Rule(
+            priority=10, match=Match.build(nw_src=SRC, nw_dst=DST), actions=output(1)
+        )
+        table = table_of(rlowest, rlower, rprobed)
+        result = generator().generate(table, rprobed)
+        assert result.ok
+        # The only valid probe is (srcIP=10.0.0.1, dstIP=10.0.0.2).
+        assert result.header[FieldName.NW_SRC] == SRC
+        assert result.header[FieldName.NW_DST] == DST
+        assert verify_probe(table, rprobed, result.header, CATCH)[0]
+
+    def test_probe_avoids_higher_priority_rules(self):
+        probed = Rule(
+            priority=5, match=Match.build(nw_dst=(0x0A000000, 24)), actions=output(2)
+        )
+        shadow = Rule(priority=9, match=Match.build(nw_dst=DST), actions=output(3))
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        table = table_of(probed, shadow, default)
+        result = generator().generate(table, probed)
+        assert result.ok
+        assert result.header[FieldName.NW_DST] != DST
+        assert verify_probe(table, probed, result.header, CATCH)[0]
+
+    def test_outcomes_reported(self):
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        table = table_of(probed, default)
+        result = generator().generate(table, probed)
+        assert result.outcome_present.ports() == {2}
+        assert result.outcome_absent.ports() == {1}
+        assert result.expects_return()
+
+
+class TestUnmonitorable:
+    def test_fully_shadowed_rule(self):
+        primary = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(1))
+        backup = Rule(priority=5, match=Match.build(nw_dst=DST), actions=output(2))
+        table = table_of(primary, backup)
+        result = generator().generate(table, backup)
+        assert not result.ok
+        assert result.reason == UnmonitorableReason.UNSATISFIABLE
+
+    def test_same_outcome_as_default(self):
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(1))
+        table = table_of(default, probed)
+        result = generator().generate(table, probed)
+        assert not result.ok
+
+    def test_catch_conflict_unmonitorable(self):
+        # The rule pins dl_vlan to a non-reserved value: the probe cannot
+        # both hit it and match the catching rule.
+        probed = Rule(priority=10, match=Match.build(dl_vlan=5), actions=output(1))
+        table = table_of(probed)
+        result = generator().generate(table, probed)
+        assert not result.ok
+
+    def test_drop_over_drop_default_unmonitorable(self):
+        default = Rule(priority=0, match=Match.wildcard(), actions=drop())
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=drop())
+        table = table_of(default, probed)
+        assert not generator().generate(table, probed).ok
+
+
+class TestRewriteRules:
+    def test_rewrite_distinguishes_same_port(self):
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        probed = Rule(
+            priority=10,
+            match=Match.build(nw_src=SRC),
+            actions=output(1, nw_tos=0x2A),
+        )
+        table = table_of(default, probed)
+        result = generator().generate(table, probed)
+        assert result.ok
+        assert result.header[FieldName.NW_TOS] != 0x2A
+        assert verify_probe(table, probed, result.header, CATCH)[0]
+
+    def test_probe_generator_refuses_reserved_field_rewrites(self):
+        bad = Rule(
+            priority=5,
+            match=Match.build(nw_src=SRC),
+            actions=output(1, dl_vlan=0xF03),
+        )
+        table = table_of(bad)
+        with pytest.raises(ValueError):
+            generator().generate(table, bad)
+
+
+class TestDropRules:
+    def test_negative_probe_for_drop(self):
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=drop())
+        table = table_of(default, probed)
+        result = generator().generate(table, probed)
+        assert result.ok
+        assert result.outcome_present.is_drop()
+        assert not result.expects_return()
+        assert result.outcome_absent.ports() == {1}
+        assert verify_probe(table, probed, result.header, CATCH)[0]
+
+
+class TestMulticastEcmp:
+    def test_multicast_vs_unicast(self):
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=multicast([1, 2])
+        )
+        table = table_of(default, probed)
+        result = generator().generate(table, probed)
+        assert result.ok
+        assert verify_probe(table, probed, result.header, CATCH)[0]
+
+    def test_ecmp_over_member_unicast_unmonitorable(self):
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=ecmp([1, 2])
+        )
+        table = table_of(default, probed)
+        # ECMP may pick port 1 = the default's port: ambiguous.
+        assert not generator().generate(table, probed).ok
+
+    def test_ecmp_disjoint_from_default(self):
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(5))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=ecmp([1, 2])
+        )
+        table = table_of(default, probed)
+        result = generator().generate(table, probed)
+        assert result.ok
+        assert result.outcome_present.ecmp
+        assert verify_probe(table, probed, result.header, CATCH)[0]
+
+
+class TestInPortHandling:
+    def test_valid_in_ports_respected(self):
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        table = table_of(probed, default)
+        result = generator(valid_in_ports=(3, 7)).generate(table, probed)
+        assert result.ok
+        assert result.header[FieldName.IN_PORT] in (3, 7)
+
+    def test_in_port_match_conflicting_with_valid_ports(self):
+        probed = Rule(
+            priority=10, match=Match.build(in_port=9, nw_dst=DST), actions=output(2)
+        )
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        table = table_of(probed, default)
+        result = generator(valid_in_ports=(3, 7)).generate(table, probed)
+        assert not result.ok
+
+
+class TestOverlapFilter:
+    def build_big_table(self):
+        rules = [
+            Rule(
+                priority=100 + i,
+                match=Match.build(nw_dst=0x14000000 + i),
+                actions=output(1 + i % 3),
+            )
+            for i in range(50)
+        ]
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        return table_of(probed, default, *rules), probed
+
+    def test_filter_reduces_instance_size(self):
+        table, probed = self.build_big_table()
+        with_filter = generator().generate(table, probed)
+        without_filter = generator(overlap_filter=False).generate(table, probed)
+        assert with_filter.ok and without_filter.ok
+        assert with_filter.overlapping_rules < without_filter.overlapping_rules
+        assert with_filter.cnf_clauses < without_filter.cnf_clauses
+
+    def test_filter_preserves_probe_validity(self):
+        table, probed = self.build_big_table()
+        for flag in (True, False):
+            result = generator(overlap_filter=flag).generate(table, probed)
+            assert verify_probe(table, probed, result.header, CATCH)[0]
+
+
+class TestExpectedOutcomes:
+    def test_present_and_absent(self):
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        table = table_of(probed, default)
+        header = {FieldName.NW_DST: DST}
+        present, absent = expected_outcomes(table, probed, header)
+        assert present.ports() == {2}
+        assert absent.ports() == {1}
+
+    def test_absent_to_miss_drop(self):
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        table = table_of(probed)
+        present, absent = expected_outcomes(table, probed, {FieldName.NW_DST: DST})
+        assert present.ports() == {2}
+        assert absent.is_drop()
+
+
+class TestStatsAndBudget:
+    def test_generation_time_recorded(self):
+        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        table = table_of(probed, Rule(priority=0, match=Match.wildcard(), actions=output(1)))
+        result = generator().generate(table, probed)
+        from repro.openflow.fields import HEADER_BITS
+
+        assert result.generation_time > 0
+        assert result.cnf_vars >= HEADER_BITS  # header bits + Tseitin vars

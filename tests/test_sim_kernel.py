@@ -1,0 +1,169 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Clock, Simulator
+from repro.sim.events import EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance(2.5)
+        assert clock.now == 2.5
+
+    def test_advance_to_same_time_ok(self):
+        clock = Clock(1.0)
+        clock.advance(1.0)
+        assert clock.now == 1.0
+
+    def test_cannot_move_backwards(self):
+        clock = Clock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance(1.0)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_dispatch_in_schedule_order(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            queue.push(1.0, lambda t=tag: order.append(t))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["first", "second", "third"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_empty_queue_is_falsy(self):
+        assert not EventQueue()
+
+
+class TestSimulator:
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+        assert sim.now == 1.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_run_until_stops_clock_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        assert fired == []
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["late"]
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_for(3.0)
+        assert sim.now == 3.0
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+        with pytest.raises(ValueError):
+            sim.at(-1.0, lambda: None)
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.at(4.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [4.0]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        count = [0]
+
+        def recur():
+            count[0] += 1
+            sim.schedule(0.1, recur)
+
+        sim.schedule(0.1, recur)
+        sim.run(max_events=10)
+        assert count[0] == 10
+
+    def test_event_cancellation_via_handle(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_dispatched_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 5
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def try_reenter():
+            try:
+                sim.run()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, try_reenter)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,83 @@
+"""Tests for the deterministic randomness wrapper."""
+
+from repro.sim.random import DeterministicRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(42)
+        b = DeterministicRandom(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRandom(1)
+        b = DeterministicRandom(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRandom(7).fork(3)
+        b = DeterministicRandom(7).fork(3)
+        assert a.random() == b.random()
+
+    def test_fork_streams_are_independent(self):
+        base = DeterministicRandom(7)
+        fork = base.fork(1)
+        before = fork.random()
+        base.random()  # consuming the base must not affect the fork
+        fork2 = DeterministicRandom(7).fork(1)
+        fork2.random()
+        assert before == DeterministicRandom(7).fork(1).random()
+
+
+class TestHelpers:
+    def test_uniform_bounds(self):
+        rng = DeterministicRandom(0)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_getrandbits_width(self):
+        rng = DeterministicRandom(0)
+        for bits in (1, 8, 16, 48):
+            for _ in range(20):
+                assert 0 <= rng.getrandbits(bits) < (1 << bits)
+
+    def test_getrandbits_zero(self):
+        assert DeterministicRandom(0).getrandbits(0) == 0
+
+    def test_choose_returns_member(self):
+        rng = DeterministicRandom(0)
+        items = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choose(items) in items
+
+    def test_sample_distinct(self):
+        rng = DeterministicRandom(0)
+        picked = rng.sample(list(range(100)), 10)
+        assert len(set(picked)) == 10
+
+    def test_jittered_non_negative_and_in_band(self):
+        rng = DeterministicRandom(0)
+        for _ in range(100):
+            value = rng.jittered(1.0, fraction=0.5)
+            assert 0.5 <= value <= 1.5
+
+    def test_jittered_floors_at_zero(self):
+        rng = DeterministicRandom(0)
+        for _ in range(50):
+            assert rng.jittered(0.001, fraction=5.0) >= 0.0
+
+    def test_shuffle_permutes(self):
+        rng = DeterministicRandom(3)
+        items = list(range(30))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(30))
+
+    def test_expovariate_positive(self):
+        rng = DeterministicRandom(0)
+        for _ in range(50):
+            assert rng.expovariate(100.0) >= 0.0

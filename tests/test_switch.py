@@ -1,0 +1,361 @@
+"""Tests for the simulated switch: control/data plane split, FlowMod
+semantics, barriers under each behaviour model, rate limits, faults."""
+
+import pytest
+
+from repro.openflow.actions import drop, output
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+    PacketOut,
+)
+from repro.openflow.rule import Rule
+from repro.openflow.table import FlowTable
+from repro.packets.craft import craft_packet
+from repro.sim.kernel import Simulator
+from repro.switches.behavior import (
+    FaithfulBehavior,
+    PrematureAckBehavior,
+    ReorderingBehavior,
+    behavior_for,
+)
+from repro.switches.profiles import HP_5406ZL, IDEAL, OVS, PICA8
+from repro.switches.switch import SimulatedSwitch, apply_flowmod
+
+
+def make_switch(profile=OVS, **kwargs):
+    sim = Simulator()
+    switch = SimulatedSwitch(sim, switch_id=1, profile=profile, **kwargs)
+    received = []
+    switch.send_to_controller = received.append
+    return sim, switch, received
+
+
+def add_mod(dst, port, priority=10):
+    return FlowMod(
+        command=FlowModCommand.ADD,
+        match=Match.build(nw_dst=dst),
+        priority=priority,
+        actions=output(port),
+    )
+
+
+class TestApplyFlowmod:
+    def table(self):
+        table = FlowTable(check_overlap=False)
+        table.install(Rule(priority=5, match=Match.build(nw_dst=1), actions=output(1)))
+        return table
+
+    def test_add(self):
+        table = self.table()
+        apply_flowmod(table, add_mod(2, 3))
+        assert len(table) == 2
+
+    def test_modify_strict_replaces_actions(self):
+        table = self.table()
+        mod = FlowMod(
+            command=FlowModCommand.MODIFY_STRICT,
+            match=Match.build(nw_dst=1),
+            priority=5,
+            actions=output(9),
+        )
+        apply_flowmod(table, mod)
+        assert table.lookup({FieldName.NW_DST: 1}).forwarding_set() == {9}
+        assert len(table) == 1
+
+    def test_modify_nonstrict_covers(self):
+        table = FlowTable(check_overlap=False)
+        table.install(Rule(priority=5, match=Match.build(nw_dst=(0x0A000000, 24)), actions=output(1)))
+        table.install(Rule(priority=6, match=Match.build(nw_dst=(0x0B000000, 24)), actions=output(1)))
+        mod = FlowMod(
+            command=FlowModCommand.MODIFY,
+            match=Match.build(nw_dst=(0x0A000000, 8)),
+            priority=1,
+            actions=output(7),
+        )
+        apply_flowmod(table, mod)
+        assert table.lookup({FieldName.NW_DST: 0x0A000001}).forwarding_set() == {7}
+        assert table.lookup({FieldName.NW_DST: 0x0B000001}).forwarding_set() == {1}
+
+    def test_modify_without_target_adds(self):
+        table = FlowTable(check_overlap=False)
+        mod = FlowMod(
+            command=FlowModCommand.MODIFY_STRICT,
+            match=Match.build(nw_dst=5),
+            priority=4,
+            actions=output(2),
+        )
+        apply_flowmod(table, mod)
+        assert len(table) == 1
+
+    def test_delete_strict(self):
+        table = self.table()
+        mod = FlowMod(
+            command=FlowModCommand.DELETE_STRICT,
+            match=Match.build(nw_dst=1),
+            priority=5,
+        )
+        removed = apply_flowmod(table, mod)
+        assert len(removed) == 1
+        assert len(table) == 0
+
+    def test_delete_nonstrict(self):
+        table = self.table()
+        mod = FlowMod(command=FlowModCommand.DELETE, match=Match.wildcard())
+        apply_flowmod(table, mod)
+        assert len(table) == 0
+
+
+class TestControlPlane:
+    def test_flowmod_reaches_both_planes(self):
+        sim, switch, _ = make_switch()
+        switch.receive_message(add_mod(1, 2))
+        sim.run_for(1.0)
+        assert len(switch.control_table) == 1
+        assert len(switch.dataplane) == 1
+        assert switch.dataplane_synced
+
+    def test_dataplane_lags_control_plane(self):
+        sim, switch, _ = make_switch(profile=HP_5406ZL)
+        switch.receive_message(add_mod(1, 2))
+        sim.run_for(HP_5406ZL.flowmod_cost + 0.001)
+        assert len(switch.control_table) == 1
+        assert len(switch.dataplane) == 0  # install latency not elapsed
+        sim.run_for(1.0)
+        assert len(switch.dataplane) == 1
+
+    def test_serial_processing_rate(self):
+        sim, switch, _ = make_switch(profile=HP_5406ZL)
+        for i in range(20):
+            switch.receive_message(add_mod(i, 1))
+        sim.run_for(10 * HP_5406ZL.flowmod_cost + 1e-9)
+        assert switch.stats.flowmods_processed == 10
+
+    def test_echo_reply(self):
+        sim, switch, received = make_switch()
+        switch.receive_message(EchoRequest(xid=77))
+        sim.run_for(0.1)
+        assert any(isinstance(m, EchoReply) and m.xid == 77 for m in received)
+
+    def test_packetout_emits_on_port(self):
+        sim, switch, _ = make_switch()
+        emitted = []
+        switch.attach_port(3, emitted.append)
+        switch.receive_message(PacketOut(payload=b"raw-bytes", out_port=3))
+        sim.run_for(0.1)
+        assert emitted == [b"raw-bytes"]
+
+
+class TestBarrierBehaviors:
+    def run_barrier_scenario(self, profile):
+        sim, switch, received = make_switch(profile=profile)
+        switch.receive_message(add_mod(1, 2))
+        switch.receive_message(BarrierRequest(xid=5))
+        sim.run_for(5.0)
+        barrier_times = [
+            m for m in received if isinstance(m, BarrierReply) and m.xid == 5
+        ]
+        assert len(barrier_times) == 1
+        return switch
+
+    def test_faithful_barrier_implies_dataplane(self):
+        sim, switch, received = make_switch(profile=IDEAL)
+        switch.receive_message(add_mod(1, 2))
+        switch.receive_message(BarrierRequest(xid=5))
+        # Track state at the moment the reply arrives.
+        state_at_reply = []
+        switch.send_to_controller = lambda m: state_at_reply.append(
+            (m, len(switch.dataplane))
+        )
+        sim.run_for(5.0)
+        replies = [s for s in state_at_reply if isinstance(s[0], BarrierReply)]
+        assert replies and replies[0][1] == 1
+
+    def test_premature_barrier_races_dataplane(self):
+        sim, switch, _ = make_switch(profile=HP_5406ZL)
+        state_at_reply = []
+        switch.send_to_controller = lambda m: state_at_reply.append(
+            (type(m).__name__, len(switch.dataplane))
+        )
+        switch.receive_message(add_mod(1, 2))
+        switch.receive_message(BarrierRequest(xid=5))
+        sim.run_for(5.0)
+        replies = [s for s in state_at_reply if s[0] == "BarrierReply"]
+        assert replies and replies[0][1] == 0  # lied: dataplane empty
+
+    def test_behavior_factory(self):
+        from repro.sim.random import DeterministicRandom
+
+        rng = DeterministicRandom(0)
+        assert isinstance(behavior_for(PICA8, rng), ReorderingBehavior)
+        assert isinstance(behavior_for(HP_5406ZL, rng), PrematureAckBehavior)
+        assert isinstance(behavior_for(IDEAL, rng), FaithfulBehavior)
+
+
+class TestDataPlane:
+    def craft(self, dst, vlan=0xFFF):
+        return craft_packet(
+            {
+                FieldName.DL_TYPE: 0x0800,
+                FieldName.NW_PROTO: 17,
+                FieldName.NW_DST: dst,
+                FieldName.DL_VLAN: vlan,
+            },
+            b"payload",
+        )
+
+    def test_forwarding(self):
+        sim, switch, _ = make_switch()
+        emitted = []
+        switch.attach_port(2, emitted.append)
+        switch.install_directly(
+            Rule(priority=5, match=Match.build(nw_dst=7), actions=output(2))
+        )
+        switch.inject(self.craft(7), in_port=1)
+        sim.run_for(0.1)
+        assert len(emitted) == 1
+        assert switch.stats.packets_forwarded == 1
+
+    def test_miss_drops(self):
+        sim, switch, _ = make_switch()
+        switch.inject(self.craft(7), in_port=1)
+        sim.run_for(0.1)
+        assert switch.stats.packets_dropped == 1
+
+    def test_rewrite_applied_on_wire(self):
+        from repro.packets.parse import parse_packet
+
+        sim, switch, _ = make_switch()
+        emitted = []
+        switch.attach_port(2, emitted.append)
+        switch.install_directly(
+            Rule(
+                priority=5,
+                match=Match.build(nw_dst=7),
+                actions=output(2, nw_tos=0x19),
+            )
+        )
+        switch.inject(self.craft(7), in_port=1)
+        sim.run_for(0.1)
+        values, payload = parse_packet(emitted[0])
+        assert values[FieldName.NW_TOS] == 0x19
+        assert payload == b"payload"
+
+    def test_controller_bound_rule_sends_packetin(self):
+        from repro.openflow.actions import CONTROLLER_PORT
+
+        sim, switch, received = make_switch()
+        switch.install_directly(
+            Rule(priority=5, match=Match.build(nw_dst=7), actions=output(CONTROLLER_PORT))
+        )
+        switch.inject(self.craft(7), in_port=4)
+        sim.run_for(0.1)
+        packet_ins = [m for m in received if isinstance(m, PacketIn)]
+        assert len(packet_ins) == 1
+        assert packet_ins[0].in_port == 4
+
+    def test_packetin_rate_limit(self):
+        from repro.openflow.actions import CONTROLLER_PORT
+        from repro.switches.profiles import SwitchProfile
+
+        slow = SwitchProfile(
+            name="slow",
+            flowmod_rate=100,
+            packetout_rate=100,
+            packetin_rate=10,
+            packetin_interference=0.0,
+            install_latency=0.0,
+            install_jitter=0.0,
+            premature_ack=False,
+            reorders=False,
+        )
+        sim, switch, received = make_switch(profile=slow)
+        switch.install_directly(
+            Rule(priority=5, match=Match.wildcard(), actions=output(CONTROLLER_PORT))
+        )
+        for _ in range(50):
+            switch.inject(self.craft(7), in_port=1)
+        sim.run_for(0.5)
+        assert switch.stats.packetins_sent <= 11
+        assert switch.stats.packetins_dropped >= 39
+
+    def test_parse_errors_counted(self):
+        sim, switch, _ = make_switch()
+        switch.inject(b"\x01\x02", in_port=1)
+        assert switch.stats.parse_errors == 1
+
+
+class TestFaults:
+    def test_fail_rule_in_dataplane_only(self):
+        sim, switch, _ = make_switch()
+        rule = Rule(priority=5, match=Match.build(nw_dst=7), actions=output(2))
+        switch.install_directly(rule)
+        assert switch.fail_rule_in_dataplane(rule)
+        assert len(switch.control_table) == 1
+        assert len(switch.dataplane) == 0
+
+    def test_corrupt_rule(self):
+        sim, switch, _ = make_switch()
+        rule = Rule(priority=5, match=Match.build(nw_dst=7), actions=output(2))
+        switch.install_directly(rule)
+        switch.corrupt_rule_in_dataplane(rule, output(9))
+        assert switch.dataplane.lookup({FieldName.NW_DST: 7}).forwarding_set() == {9}
+        assert switch.control_table.lookup({FieldName.NW_DST: 7}).forwarding_set() == {2}
+
+    def test_corrupt_missing_rule_raises(self):
+        sim, switch, _ = make_switch()
+        rule = Rule(priority=5, match=Match.build(nw_dst=7), actions=output(2))
+        with pytest.raises(KeyError):
+            switch.corrupt_rule_in_dataplane(rule, output(9))
+
+    def test_fail_port_blackholes(self):
+        sim, switch, _ = make_switch()
+        emitted = []
+        switch.attach_port(2, emitted.append)
+        switch.install_directly(
+            Rule(priority=5, match=Match.wildcard(), actions=output(2))
+        )
+        switch.fail_port(2)
+        switch.inject(
+            craft_packet({FieldName.DL_TYPE: 0x0800, FieldName.NW_PROTO: 6}),
+            in_port=1,
+        )
+        sim.run_for(0.1)
+        assert emitted == []
+        switch.restore_port(2)
+        switch.inject(
+            craft_packet({FieldName.DL_TYPE: 0x0800, FieldName.NW_PROTO: 6}),
+            in_port=1,
+        )
+        sim.run_for(0.1)
+        assert len(emitted) == 1
+
+
+class TestReordering:
+    def test_pica8_can_apply_out_of_order(self):
+        # With many installs, the reordering behaviour must produce at
+        # least one inversion between issue order and dataplane order.
+        sim = Simulator()
+        switch = SimulatedSwitch(sim, switch_id=1, profile=PICA8)
+        apply_times = {}
+        original = switch._apply_to_dataplane
+
+        def spy(mod):
+            apply_times[mod.xid] = sim.now
+            original(mod)
+
+        switch._apply_to_dataplane = spy
+        mods = [add_mod(i, 1) for i in range(30)]
+        for mod in mods:
+            switch.receive_message(mod)
+        sim.run_for(10.0)
+        order = [m.xid for m in mods]
+        applied = sorted(order, key=lambda x: apply_times[x])
+        assert applied != order  # at least one inversion
