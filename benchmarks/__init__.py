@@ -1,0 +1,6 @@
+"""Paper-figure benchmarks, runnable via pytest from the repo root.
+
+The package marker lets ``python -m pytest`` import the modules as
+``benchmarks.test_*`` so their relative ``from .conftest import ...``
+imports resolve (pytest prepends the repo root to ``sys.path``).
+"""

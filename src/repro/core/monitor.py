@@ -34,6 +34,7 @@ from repro.openflow.fields import FieldName
 from repro.openflow.messages import FlowMod, Message, PacketIn
 from repro.openflow.rule import Rule, RuleOutcome
 from repro.openflow.table import FlowTable
+from repro.packets.craft import wire_visible_items
 from repro.packets.parse import ParseError, parse_packet
 from repro.packets.payload import ProbeMetadata
 from repro.sim.kernel import Simulator
@@ -77,14 +78,20 @@ def outcome_observations(
     outcome: RuleOutcome, observable_ports: frozenset[int] | None
 ) -> frozenset[Observation]:
     """The possible observations of an outcome, restricted to observable
-    ports.  ECMP outcomes contribute each alternative."""
+    ports.  ECMP outcomes contribute each alternative.
+
+    Emission headers are projected onto their wire-visible fields: the
+    abstract outcome model carries all header fields, but a caught
+    probe only shows the fields its packet format encodes (an ARP probe
+    has no ``nw_proto``), and the comparison must be apples-to-apples.
+    """
     observations = []
     for port, header_items in outcome.emissions:
         if observable_ports is not None and port not in observable_ports:
             continue
         cleaned = tuple(
             (name, value)
-            for name, value in header_items
+            for name, value in wire_visible_items(dict(header_items))
             if name is not FieldName.IN_PORT
         )
         observations.append((port, cleaned))
@@ -484,11 +491,9 @@ class Monitor:
         observation: Observation = (
             msg.in_port,
             tuple(
-                sorted(
-                    (name, value)
-                    for name, value in values.items()
-                    if name is not FieldName.IN_PORT
-                )
+                (name, value)
+                for name, value in wire_visible_items(values)
+                if name is not FieldName.IN_PORT
             ),
         )
         target = (

@@ -1,0 +1,153 @@
+"""Turning a topology into a running, network-wide monitored deployment.
+
+:class:`FleetDeployment` owns everything one fleet scenario needs: a
+fresh :class:`~repro.sim.kernel.Simulator`, the wired
+:class:`~repro.network.network.Network`, the catching plan (§6), one
+Monitor (plus optional DynamicMonitor) per switch via
+:class:`~repro.core.multiplexer.MonocleSystem`, and an
+:class:`~repro.controller.controller.SdnController` whose messages flow
+through Monocle.  Workloads and failure models operate on a deployment;
+they never touch the wiring themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping
+
+import networkx as nx
+
+from repro.controller import ConfirmMode, SdnController
+from repro.core.catching import CatchingPlan, ColoringAlgorithm, plan_catching_rules
+from repro.core.monitor import Monitor, MonitorConfig
+from repro.core.multiplexer import MonocleSystem
+from repro.network.network import Network
+from repro.openflow.messages import Message
+from repro.openflow.rule import Rule
+from repro.sim.kernel import Simulator
+from repro.sim.random import DeterministicRandom
+from repro.switches.profiles import OVS, SwitchProfile
+from repro.switches.switch import SimulatedSwitch
+
+
+class FleetDeployment:
+    """One topology, fully instrumented and ready to run.
+
+    Args:
+        topology: switch-level graph (from :mod:`repro.topology`).
+        profiles: per-node profile, one profile for all, or a callable
+            ``node -> profile`` (same contract as :class:`Network`).
+        plan: catching plan; computed from ``strategy``/``algorithm``
+            when omitted.
+        config: monitoring configuration shared by all Monitors.
+        dynamic: interpose a DynamicMonitor per switch so FlowMods are
+            confirmed and acknowledged (§4).
+        seed: base seed for all deployment-level randomness; the
+            network forks its own streams from the same value.
+    """
+
+    def __init__(
+        self,
+        topology: nx.Graph,
+        profiles: SwitchProfile
+        | Mapping[Hashable, SwitchProfile]
+        | Callable[[Hashable], SwitchProfile] = OVS,
+        plan: CatchingPlan | None = None,
+        config: MonitorConfig | None = None,
+        dynamic: bool = True,
+        seed: int = 0,
+        strategy: int = 1,
+        algorithm: ColoringAlgorithm = ColoringAlgorithm.EXACT,
+        use_drop_postponing: bool = False,
+    ) -> None:
+        if topology.number_of_nodes() == 0:
+            raise ValueError("cannot deploy a fleet on an empty topology")
+        self.topology = topology
+        self.sim = Simulator()
+        self.seed = seed
+        self.dynamic = dynamic
+        self.rng = DeterministicRandom(seed).fork(0xF1EE7)
+        self.network = Network(self.sim, topology, profiles=profiles, seed=seed)
+        if plan is None:
+            plan = plan_catching_rules(
+                topology, strategy=strategy, algorithm=algorithm
+            )
+        self.plan = plan
+        self.config = config if config is not None else MonitorConfig()
+        self.system = MonocleSystem(
+            self.network,
+            plan=plan,
+            config=self.config,
+            dynamic=dynamic,
+            controller_handler=self._handle_upstream,
+            use_drop_postponing=use_drop_postponing,
+        )
+        self.controller = SdnController(self.sim, send=self.system.send_to_switch)
+        #: Production rules installed per node (workload bookkeeping);
+        #: failure models pick their victims from here.
+        self.production_rules: dict[Hashable, list[Rule]] = {
+            node: [] for node in self.nodes
+        }
+        #: Non-probe upstream messages the controller did not consume.
+        self.upstream_messages: list[tuple[Hashable, Message]] = []
+        self._started = False
+
+    # ----- wiring ----------------------------------------------------------
+
+    def _handle_upstream(self, node: Hashable, msg: Message) -> None:
+        self.controller.handle_message(node, msg)
+        self.upstream_messages.append((node, msg))
+
+    # ----- accessors -------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        """Topology nodes in the deployment's canonical (sorted) order."""
+        return sorted(self.topology.nodes, key=repr)
+
+    def monitor(self, node: Hashable) -> Monitor:
+        """The Monitor watching ``node``."""
+        return self.system.monitor(node)
+
+    def switch(self, node: Hashable) -> SimulatedSwitch:
+        """The simulated switch at ``node``."""
+        return self.network.switch(node)
+
+    @property
+    def confirm_mode(self) -> ConfirmMode:
+        """The strongest confirmation mode this deployment supports."""
+        return ConfirmMode.MONOCLE_ACK if self.dynamic else ConfirmMode.NONE
+
+    # ----- setup helpers ---------------------------------------------------
+
+    def install_production_rule(self, node: Hashable, rule: Rule) -> Rule:
+        """Pre-install a production rule (both planes + expected table)."""
+        self.system.preinstall_production_rule(node, rule)
+        self.production_rules[node].append(rule)
+        return rule
+
+    def neighbor_ports(self, node: Hashable) -> list[int]:
+        """Switch-facing ports of ``node`` (observable egress candidates)."""
+        return self.network.switch_facing_ports(node)
+
+    # ----- lifecycle -------------------------------------------------------
+
+    def start_monitoring(self) -> None:
+        """Start the §3 steady-state cycle on every Monitor."""
+        self._started = True
+        self.system.start_steady_state()
+
+    def run(self, duration: float, max_events: int | None = None) -> None:
+        """Advance the shared sim kernel by ``duration`` seconds."""
+        self.sim.run_for(duration, max_events=max_events)
+
+    def total_alarms(self):
+        """All alarms across the fleet, time-ordered."""
+        return self.system.total_alarms()
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetDeployment({self.topology.number_of_nodes()} switches, "
+            f"strategy={self.plan.strategy}, "
+            f"{self.plan.num_reserved_values} reserved values, "
+            f"dynamic={self.dynamic})"
+        )

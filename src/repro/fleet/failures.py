@@ -1,0 +1,323 @@
+"""Failure-injection models scheduled on the simulation clock.
+
+Each :class:`FailureSpec` describes one misbehaviour from the paper's
+motivation (§2) and evaluation (§8.1.1): a rule silently vanishing from
+the data plane, a rule forwarding to the wrong port, two rules whose
+effective priorities are swapped, a link or port dying, and a switch
+that accepts a FlowMod but never applies it.
+
+:func:`schedule_failures` arms the specs on a deployment's kernel and
+returns one :class:`Injection` record per spec; the metrics layer later
+matches monitor alarms against these records to compute detection
+latencies and false-alarm counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.fleet.deployment import FleetDeployment
+from repro.openflow.actions import output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand, next_xid
+from repro.openflow.rule import Rule
+
+#: Destination block for rules created by FlowModBlackhole injections.
+BLACKHOLE_DST_BASE = 0x90000000
+
+
+class FailureSpecError(ValueError):
+    """A failure spec references state the deployment does not have."""
+
+
+@dataclass
+class Injection:
+    """One armed failure: what was injected, where, and when.
+
+    Attributes:
+        kind: failure-kind label (e.g. ``rule_drop``).
+        time: injection time on the sim clock.
+        nodes: switches whose alarms this injection can explain.
+        cookies: rule cookies whose alarms count as *detection*; filled
+            at injection time (victims are picked when the clock fires).
+        broad: when True, *any* later alarm on ``nodes`` is attributed
+            to this injection (link/port failures disturb probing of
+            every rule on the adjacent switches, not just the rules
+            that forwarded across the dead link).
+    """
+
+    kind: str
+    time: float
+    nodes: set = field(default_factory=set)
+    cookies: set = field(default_factory=set)
+    broad: bool = False
+    description: str = ""
+    #: Set when the spec could not be injected at fire time (e.g. no
+    #: production rule to fail); such an injection never detects.
+    error: str | None = None
+
+    def explains(self, node: Hashable, alarm) -> bool:
+        """Could this injection have caused ``alarm`` on ``node``?"""
+        if alarm.time < self.time or node not in self.nodes:
+            return False
+        return self.broad or alarm.rule.cookie in self.cookies
+
+    def is_detection(self, node: Hashable, alarm) -> bool:
+        """Is ``alarm`` direct evidence of this injection?"""
+        return (
+            alarm.time >= self.time
+            and node in self.nodes
+            and alarm.rule.cookie in self.cookies
+        )
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Base: a failure armed at time ``at`` (sim seconds)."""
+
+    at: float
+
+    kind = "failure"
+
+    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+        raise NotImplementedError
+
+    def _victim(
+        self, deployment: FleetDeployment, node: Hashable, index: int | None
+    ) -> Rule:
+        rules = deployment.production_rules.get(node, [])
+        if not rules:
+            raise FailureSpecError(
+                f"no production rules on {node!r} to fail at t={self.at}"
+            )
+        if index is None:
+            return deployment.rng.choose(rules)
+        return rules[index % len(rules)]
+
+
+@dataclass(frozen=True)
+class RuleDrop(FailureSpec):
+    """Silently remove one production rule from the data plane (§8.1.1)."""
+
+    node: Hashable = None
+    rule_index: int | None = None
+
+    kind = "rule_drop"
+
+    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+        rule = self._victim(deployment, self.node, self.rule_index)
+        if not deployment.switch(self.node).fail_rule_in_dataplane(rule):
+            raise FailureSpecError(
+                f"rule {rule.match!r} already absent from {self.node!r}'s "
+                "data plane (injected twice?)"
+            )
+        record.nodes = {self.node}
+        record.cookies = {rule.cookie}
+        record.description = f"drop {rule.match!r} on {self.node!r}"
+
+
+@dataclass(frozen=True)
+class RuleCorruption(FailureSpec):
+    """Rewire one rule's data-plane actions to a wrong port (§8.1.1)."""
+
+    node: Hashable = None
+    rule_index: int | None = None
+
+    kind = "rule_corrupt"
+
+    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+        rule = self._victim(deployment, self.node, self.rule_index)
+        ports = deployment.neighbor_ports(self.node)
+        wrong = [p for p in ports if p not in rule.forwarding_set()]
+        if not wrong:
+            raise FailureSpecError(
+                f"cannot corrupt {rule!r} on {self.node!r}: no other port"
+            )
+        switch = deployment.switch(self.node)
+        if switch.dataplane.get(rule.priority, rule.match) is None:
+            raise FailureSpecError(
+                f"rule {rule.match!r} no longer in {self.node!r}'s data "
+                "plane (removed by an earlier failure?)"
+            )
+        switch.corrupt_rule_in_dataplane(rule, output(wrong[0]))
+        record.nodes = {self.node}
+        record.cookies = {rule.cookie}
+        record.description = (
+            f"corrupt {rule.match!r} on {self.node!r} -> port {wrong[0]}"
+        )
+
+
+@dataclass(frozen=True)
+class PrioritySwap(FailureSpec):
+    """Swap the data-plane behaviour of two production rules.
+
+    Models a switch applying updates at wrong relative priorities: both
+    rules stay present but each forwards the other's way.  Detection is
+    an alarm on either victim.
+    """
+
+    node: Hashable = None
+
+    kind = "priority_swap"
+
+    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+        switch = deployment.switch(self.node)
+        # Only rules still present in the data plane are swappable (an
+        # earlier failure may have removed a victim).
+        rules = [
+            r
+            for r in deployment.production_rules.get(self.node, [])
+            if switch.dataplane.get(r.priority, r.match) is not None
+        ]
+        pairs = [
+            (a, b)
+            for i, a in enumerate(rules)
+            for b in rules[i + 1 :]
+            if a.forwarding_set() != b.forwarding_set()
+            and a.forwarding_set()
+            and b.forwarding_set()
+        ]
+        if not pairs:
+            raise FailureSpecError(
+                f"no swappable rule pair on {self.node!r} at t={self.at}"
+            )
+        a, b = deployment.rng.choose(pairs)
+        switch.corrupt_rule_in_dataplane(a, b.actions)
+        switch.corrupt_rule_in_dataplane(b, a.actions)
+        record.nodes = {self.node}
+        record.cookies = {a.cookie, b.cookie}
+        record.description = (
+            f"swap outcomes of {a.match!r} and {b.match!r} on {self.node!r}"
+        )
+
+
+@dataclass(frozen=True)
+class LinkFailure(FailureSpec):
+    """Cut the link between two adjacent switches (both directions)."""
+
+    u: Hashable = None
+    v: Hashable = None
+
+    kind = "link_down"
+
+    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+        network = deployment.network
+        if frozenset((self.u, self.v)) not in network.links:
+            raise FailureSpecError(f"no link {self.u!r} <-> {self.v!r}")
+        network.fail_link(self.u, self.v)
+        record.nodes = {self.u, self.v}
+        record.broad = True  # the dead link disturbs all probing on u/v
+        for node, peer in ((self.u, self.v), (self.v, self.u)):
+            dead_port = network.port_toward[node][peer]
+            record.cookies.update(
+                rule.cookie
+                for rule in deployment.production_rules.get(node, [])
+                if dead_port in rule.forwarding_set()
+            )
+        record.description = f"link {self.u!r} <-> {self.v!r} down"
+
+
+@dataclass(frozen=True)
+class PortFailure(FailureSpec):
+    """Kill one switch's egress port toward a neighbor (one direction)."""
+
+    node: Hashable = None
+    toward: Hashable = None
+
+    kind = "port_down"
+
+    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+        network = deployment.network
+        port = network.port_toward.get(self.node, {}).get(self.toward)
+        if port is None:
+            raise FailureSpecError(
+                f"{self.node!r} has no port toward {self.toward!r}"
+            )
+        deployment.switch(self.node).fail_port(port)
+        record.nodes = {self.node, self.toward}
+        record.broad = True  # probe paths through the port die too
+        record.cookies = {
+            rule.cookie
+            for rule in deployment.production_rules.get(self.node, [])
+            if port in rule.forwarding_set()
+        }
+        record.description = (
+            f"port {port} of {self.node!r} (toward {self.toward!r}) down"
+        )
+
+
+@dataclass(frozen=True)
+class FlowModBlackhole(FailureSpec):
+    """The switch accepts a FlowMod but never applies it (§2).
+
+    Arms the switch to silently skip its next data-plane install, then
+    sends a fresh forwarding rule through the controller.  The rule
+    exists in the control plane and in Monocle's expected table but
+    never in the data plane, so probing raises a ``missing`` alarm (and
+    under dynamic monitoring the update is never acknowledged).
+    """
+
+    node: Hashable = None
+    dst_offset: int = 0
+
+    kind = "flowmod_blackhole"
+
+    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+        ports = deployment.neighbor_ports(self.node)
+        if not ports:
+            raise FailureSpecError(f"{self.node!r} has no switch-facing port")
+        mod = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.build(nw_dst=BLACKHOLE_DST_BASE + self.dst_offset),
+            priority=150,
+            actions=output(ports[0]),
+            # A distinct cookie lets the metrics layer attribute the
+            # eventual "missing" alarm to this injection (plain churn
+            # FlowMods all carry the default cookie 0).
+            cookie=next_xid(),
+        )
+        # Target this FlowMod's xid specifically: a count-based
+        # blackhole would race with concurrent churn FlowMods already
+        # in flight to the same switch.
+        deployment.switch(self.node).blackhole_flowmod(mod.xid)
+        deployment.controller.send_flowmod(
+            self.node, mod, confirm=deployment.confirm_mode
+        )
+        # The expected-table rule inherits the FlowMod's cookie.
+        record.nodes = {self.node}
+        record.cookies = {mod.cookie}
+        record.description = (
+            f"blackholed FlowMod {mod.match!r} on {self.node!r}"
+        )
+
+
+def schedule_failures(
+    deployment: FleetDeployment, specs: tuple[FailureSpec, ...] | list[FailureSpec]
+) -> list[Injection]:
+    """Arm every spec on the deployment's sim clock.
+
+    Victim selection happens at fire time (production rules must exist
+    by then); the returned records are filled in place as specs fire.
+    A spec that cannot be injected (no victim rule, no spare port)
+    records its :class:`FailureSpecError` on ``Injection.error``
+    instead of crashing the simulation; such an injection can never be
+    detected, so the scenario reports it as a failure.
+    """
+    injections: list[Injection] = []
+    for spec in specs:
+        record = Injection(kind=spec.kind, time=spec.at)
+        injections.append(record)
+
+        def fire(spec=spec, record=record) -> None:
+            record.time = deployment.sim.now
+            try:
+                spec.inject(deployment, record)
+            except FailureSpecError as exc:
+                record.error = str(exc)
+                record.nodes = set()
+                record.cookies = set()
+                record.description = f"injection failed: {exc}"
+
+        deployment.sim.at(spec.at, fire)
+    return injections

@@ -1,0 +1,192 @@
+"""Fleet-wide metric aggregation.
+
+Collects, from a finished :class:`~repro.fleet.deployment.FleetDeployment`:
+
+* per-switch monitoring counters (probes/s, confirmations, timeouts,
+  alarms, PacketOut/PacketIn overhead),
+* one detection record per injected failure (first attributable alarm,
+  detection latency),
+* false alarms — alarms no injection explains, per healthy switch,
+* update-confirmation latency distribution from churn records
+  (reusing :mod:`repro.analysis.stats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.monitor import MonitorAlarm
+from repro.fleet.deployment import FleetDeployment
+from repro.fleet.failures import Injection
+from repro.fleet.workloads import RuleChurn, Workload
+
+
+@dataclass(frozen=True)
+class SwitchMetrics:
+    """Monitoring counters for one switch over the scenario."""
+
+    node: Hashable
+    rules_installed: int
+    probes_sent: int
+    probes_confirmed: int
+    probes_timed_out: int
+    alarms: int
+    packetouts_processed: int
+    packetins_sent: int
+    flowmods_processed: int
+
+    def probe_rate(self, duration: float) -> float:
+        """Achieved probes/s over the scenario."""
+        if duration <= 0:
+            return 0.0
+        return self.probes_sent / duration
+
+
+@dataclass
+class DetectionRecord:
+    """How one injected failure fared."""
+
+    injection: Injection
+    detected_at: float | None = None
+    detected_on: Hashable | None = None
+    alarm_kind: str | None = None
+
+    @property
+    def detected(self) -> bool:
+        return self.detected_at is not None
+
+    @property
+    def latency(self) -> float | None:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.injection.time
+
+
+@dataclass
+class FleetMetrics:
+    """Everything a fleet report needs, in one bundle."""
+
+    duration: float
+    per_switch: list[SwitchMetrics]
+    detections: list[DetectionRecord]
+    #: (node, alarm) pairs that no injection explains.
+    false_alarms: list[tuple[Hashable, MonitorAlarm]]
+    confirmation_latency: Summary | None
+    updates_confirmed: int
+    updates_given_up: int
+    probes_routed: int
+    probes_unroutable: int
+    #: Stable (time, node, kind, match) tuples for determinism checks.
+    alarm_timeline: list[tuple[float, str, str, str]] = field(
+        default_factory=list
+    )
+
+    # ----- aggregates -----------------------------------------------------
+
+    @property
+    def probes_sent(self) -> int:
+        return sum(m.probes_sent for m in self.per_switch)
+
+    @property
+    def probes_confirmed(self) -> int:
+        return sum(m.probes_confirmed for m in self.per_switch)
+
+    @property
+    def packetout_total(self) -> int:
+        return sum(m.packetouts_processed for m in self.per_switch)
+
+    @property
+    def packetin_total(self) -> int:
+        return sum(m.packetins_sent for m in self.per_switch)
+
+    @property
+    def all_detected(self) -> bool:
+        """Every injected failure produced an attributable alarm."""
+        return all(d.detected for d in self.detections)
+
+    @property
+    def detection_latencies(self) -> list[float]:
+        return [d.latency for d in self.detections if d.latency is not None]
+
+
+def collect_fleet_metrics(
+    deployment: FleetDeployment,
+    injections: list[Injection] | None = None,
+    workloads: list[Workload] | tuple[Workload, ...] = (),
+    duration: float | None = None,
+) -> FleetMetrics:
+    """Aggregate a finished deployment into a :class:`FleetMetrics`."""
+    injections = injections or []
+    if duration is None:
+        duration = deployment.sim.now
+
+    per_switch: list[SwitchMetrics] = []
+    for node in deployment.nodes:
+        monitor = deployment.monitor(node)
+        stats = deployment.switch(node).stats
+        per_switch.append(
+            SwitchMetrics(
+                node=node,
+                rules_installed=len(deployment.production_rules[node]),
+                probes_sent=monitor.probes_sent,
+                probes_confirmed=monitor.probes_confirmed,
+                probes_timed_out=monitor.probes_timed_out,
+                alarms=len(monitor.alarms),
+                packetouts_processed=stats.packetouts_processed,
+                packetins_sent=stats.packetins_sent,
+                flowmods_processed=stats.flowmods_processed,
+            )
+        )
+
+    detections = [DetectionRecord(injection=inj) for inj in injections]
+    false_alarms: list[tuple[Hashable, MonitorAlarm]] = []
+    timeline: list[tuple[float, str, str, str]] = []
+    for node in deployment.nodes:
+        for alarm in deployment.monitor(node).alarms:
+            timeline.append(
+                (alarm.time, repr(node), alarm.kind, repr(alarm.rule.match))
+            )
+            explained = False
+            for record in detections:
+                if record.injection.is_detection(node, alarm):
+                    explained = True
+                    if (
+                        record.detected_at is None
+                        or alarm.time < record.detected_at
+                    ):
+                        record.detected_at = alarm.time
+                        record.detected_on = node
+                        record.alarm_kind = alarm.kind
+                elif record.injection.explains(node, alarm):
+                    explained = True
+            if not explained:
+                false_alarms.append((node, alarm))
+    timeline.sort()
+
+    latencies: list[float] = []
+    for workload in workloads:
+        if isinstance(workload, RuleChurn):
+            latencies.extend(workload.confirmation_latencies())
+    confirmation = summarize(latencies) if latencies else None
+
+    updates_confirmed = sum(
+        d.updates_confirmed for d in deployment.system.dynamics.values()
+    )
+    updates_given_up = sum(
+        d.updates_given_up for d in deployment.system.dynamics.values()
+    )
+
+    return FleetMetrics(
+        duration=duration,
+        per_switch=per_switch,
+        detections=detections,
+        false_alarms=false_alarms,
+        confirmation_latency=confirmation,
+        updates_confirmed=updates_confirmed,
+        updates_given_up=updates_given_up,
+        probes_routed=deployment.system.multiplexer.probes_routed,
+        probes_unroutable=deployment.system.multiplexer.probes_unroutable,
+        alarm_timeline=timeline,
+    )

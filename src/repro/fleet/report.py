@@ -1,0 +1,95 @@
+"""Plain-text reporting for fleet scenarios."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.fleet.metrics import FleetMetrics
+
+
+def format_fleet_report(metrics: FleetMetrics) -> str:
+    """Render per-switch and aggregate fleet metrics as text tables."""
+    lines: list[str] = []
+
+    rows = [
+        [
+            repr(m.node),
+            m.rules_installed,
+            m.probes_sent,
+            f"{m.probe_rate(metrics.duration):.0f}",
+            m.probes_confirmed,
+            m.probes_timed_out,
+            m.alarms,
+            m.packetouts_processed,
+            m.packetins_sent,
+        ]
+        for m in metrics.per_switch
+    ]
+    lines.append(
+        format_table(
+            [
+                "switch",
+                "rules",
+                "probes",
+                "probes/s",
+                "confirmed",
+                "timed out",
+                "alarms",
+                "PacketOut",
+                "PacketIn",
+            ],
+            rows,
+        )
+    )
+
+    if metrics.detections:
+        lines.append("")
+        lines.append("injected failures:")
+        rows = []
+        for record in metrics.detections:
+            injection = record.injection
+            if record.detected:
+                status = (
+                    f"{record.latency:.3f}s on {record.detected_on!r}"
+                    f" ({record.alarm_kind})"
+                )
+            elif injection.error is not None:
+                status = "INJECTION FAILED"
+            else:
+                status = "NOT DETECTED"
+            rows.append(
+                [injection.kind, f"{injection.time:.3f}", status,
+                 injection.description]
+            )
+        lines.append(format_table(["kind", "t", "detection", "detail"], rows))
+
+    lines.append("")
+    lines.append(
+        f"aggregate: {metrics.probes_sent} probes "
+        f"({metrics.probes_sent / metrics.duration:.0f}/s fleet-wide), "
+        f"{metrics.probes_confirmed} confirmed, "
+        f"{metrics.probes_routed} routed by the multiplexer, "
+        f"{metrics.probes_unroutable} unroutable"
+    )
+    lines.append(
+        f"overhead: {metrics.packetout_total} PacketOuts, "
+        f"{metrics.packetin_total} PacketIns across the fleet"
+    )
+    if metrics.updates_confirmed or metrics.updates_given_up:
+        lines.append(
+            f"updates: {metrics.updates_confirmed} confirmed, "
+            f"{metrics.updates_given_up} given up"
+        )
+    if metrics.confirmation_latency is not None:
+        s = metrics.confirmation_latency
+        lines.append(
+            "confirmation latency: "
+            f"n={s.count} mean={s.mean * 1000:.1f}ms "
+            f"median={s.median * 1000:.1f}ms p95={s.p95 * 1000:.1f}ms "
+            f"max={s.maximum * 1000:.1f}ms"
+        )
+    detected = sum(1 for d in metrics.detections if d.detected)
+    lines.append(
+        f"detection: {detected}/{len(metrics.detections)} injected failures "
+        f"detected, {len(metrics.false_alarms)} false alarms"
+    )
+    return "\n".join(lines)

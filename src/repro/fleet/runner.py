@@ -1,0 +1,369 @@
+"""Declarative fleet scenarios: spec in, metrics out.
+
+:class:`ScenarioSpec` names a topology, a switch profile, a workload
+mix, and a failure schedule; :func:`run_scenario` builds the
+deployment, runs it on the discrete-event kernel, and returns a
+:class:`ScenarioResult` with aggregated metrics — so examples and
+benchmarks stop hand-rolling orchestration.
+
+The module doubles as the ``repro-fleet`` console entry point::
+
+    repro-fleet --topology ring --size 12 --duration 3 --drops 2 --churn 40
+
+Environment: ``REPRO_BENCH_SCALE`` scales ``rules_per_switch`` (CI
+smoke runs use 0.1), ``REPRO_BENCH_SEED`` overrides the default seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import networkx as nx
+
+from repro.core.catching import CapacityError, ColoringAlgorithm
+from repro.core.monitor import MonitorConfig
+from repro.fleet.deployment import FleetDeployment
+from repro.fleet.failures import (
+    FailureSpec,
+    Injection,
+    LinkFailure,
+    RuleCorruption,
+    RuleDrop,
+    schedule_failures,
+)
+from repro.fleet.metrics import FleetMetrics, collect_fleet_metrics
+from repro.fleet.report import format_fleet_report
+from repro.fleet.workloads import (
+    BackgroundTraffic,
+    RuleChurn,
+    SteadyRules,
+    Workload,
+)
+from repro.switches.profiles import (
+    DELL_8132F,
+    DELL_S4810,
+    HP_5406ZL,
+    IDEAL,
+    OVS,
+    PICA8,
+    SwitchProfile,
+)
+from repro.topology.corpus import topology_zoo_like_corpus
+from repro.topology.generators import fat_tree, linear, ring, star, triangle
+
+
+class ScenarioError(ValueError):
+    """The scenario spec is inconsistent or unbuildable."""
+
+
+def _zoo_topology(size: int) -> nx.Graph:
+    """The first corpus graph with at least ``size`` nodes."""
+    for graph in topology_zoo_like_corpus():
+        if graph.number_of_nodes() >= size:
+            return graph
+    raise ScenarioError(f"no zoo-like graph with >= {size} nodes")
+
+
+TOPOLOGIES: dict[str, Callable[[int], nx.Graph]] = {
+    "ring": ring,
+    "linear": linear,
+    "star": star,
+    "triangle": lambda size: triangle(),
+    "fat_tree": fat_tree,
+    "zoo": _zoo_topology,
+}
+
+PROFILES: dict[str, SwitchProfile] = {
+    "ovs": OVS,
+    "hp5406zl": HP_5406ZL,
+    "dell_s4810": DELL_S4810,
+    "dell_8132f": DELL_8132F,
+    "pica8": PICA8,
+    "ideal": IDEAL,
+}
+
+ALGORITHMS = {a.value: a for a in ColoringAlgorithm}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fleet scenario, fully determined by its fields + seed."""
+
+    topology: str = "ring"
+    size: int = 12
+    profile: str = "ovs"
+    duration: float = 3.0
+    seed: int = 2015
+    rules_per_switch: int = 20
+    probe_rate: float = 500.0
+    probe_timeout: float = 0.150
+    update_deadline: float = 1.0
+    dynamic: bool = True
+    strategy: int = 1
+    algorithm: str = "exact"
+    workloads: tuple[Workload, ...] = ()
+    failures: tuple[FailureSpec, ...] = ()
+    max_events: int | None = None
+
+    # ----- validation -----------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` on any inconsistency."""
+        if self.topology not in TOPOLOGIES:
+            raise ScenarioError(
+                f"unknown topology {self.topology!r}; "
+                f"choose from {sorted(TOPOLOGIES)}"
+            )
+        if self.profile not in PROFILES:
+            raise ScenarioError(
+                f"unknown profile {self.profile!r}; "
+                f"choose from {sorted(PROFILES)}"
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise ScenarioError(
+                f"unknown coloring algorithm {self.algorithm!r}; "
+                f"choose from {sorted(ALGORITHMS)}"
+            )
+        if self.strategy not in (1, 2):
+            raise ScenarioError(f"strategy must be 1 or 2, not {self.strategy}")
+        if self.duration <= 0:
+            raise ScenarioError(f"duration must be positive: {self.duration}")
+        if self.probe_rate <= 0:
+            raise ScenarioError(f"probe_rate must be positive: {self.probe_rate}")
+        if self.probe_timeout <= 0 or self.update_deadline <= 0:
+            raise ScenarioError("timeouts must be positive")
+        if self.rules_per_switch < 0:
+            raise ScenarioError(
+                f"rules_per_switch must be >= 0: {self.rules_per_switch}"
+            )
+        if self.size < 1:
+            raise ScenarioError(f"size must be >= 1: {self.size}")
+        graph = self.build_topology()
+        nodes = set(graph.nodes)
+        for spec in self.failures:
+            if spec.at < 0 or spec.at >= self.duration:
+                raise ScenarioError(
+                    f"failure at t={spec.at} outside the scenario "
+                    f"duration {self.duration}"
+                )
+            for attr in ("node", "u", "v", "toward"):
+                if not hasattr(spec, attr):
+                    continue
+                value = getattr(spec, attr)
+                if value is None:
+                    # The None defaults exist only to satisfy dataclass
+                    # inheritance; a spec without its switch is invalid.
+                    raise ScenarioError(
+                        f"{type(spec).__name__} at t={spec.at} is missing "
+                        f"its {attr!r} switch"
+                    )
+                if value not in nodes:
+                    raise ScenarioError(
+                        f"failure references unknown switch {value!r} "
+                        f"(topology {self.topology}-{self.size})"
+                    )
+
+    def build_topology(self) -> nx.Graph:
+        """Instantiate the named topology at the requested size."""
+        try:
+            return TOPOLOGIES[self.topology](self.size)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from exc
+
+    def monitor_config(self) -> MonitorConfig:
+        """The MonitorConfig all fleet Monitors share."""
+        return MonitorConfig(
+            probe_rate=self.probe_rate,
+            probe_timeout=self.probe_timeout,
+            update_deadline=self.update_deadline,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced."""
+
+    spec: ScenarioSpec
+    deployment: FleetDeployment
+    injections: list[Injection]
+    metrics: FleetMetrics
+
+    def report(self) -> str:
+        """The formatted fleet report."""
+        return format_fleet_report(self.metrics)
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Plan, deploy, inject, detect, report — one call.
+
+    The full pipeline: validate the spec, compute the catching plan and
+    instantiate a monitored switch per topology node, install the
+    workload mix, arm the failure schedule, run the shared kernel for
+    ``spec.duration`` simulated seconds, and aggregate fleet metrics.
+    """
+    spec.validate()
+    try:
+        deployment = FleetDeployment(
+            spec.build_topology(),
+            profiles=PROFILES[spec.profile],
+            config=spec.monitor_config(),
+            dynamic=spec.dynamic,
+            seed=spec.seed,
+            strategy=spec.strategy,
+            algorithm=ALGORITHMS[spec.algorithm],
+        )
+    except CapacityError as exc:
+        raise ScenarioError(str(exc)) from exc
+
+    workloads: list[Workload] = [SteadyRules(spec.rules_per_switch)]
+    workloads.extend(spec.workloads)
+    for workload in workloads:
+        workload.setup(deployment)
+
+    injections = schedule_failures(deployment, spec.failures)
+    deployment.start_monitoring()
+    deployment.run(spec.duration, max_events=spec.max_events)
+
+    metrics = collect_fleet_metrics(
+        deployment,
+        injections=injections,
+        workloads=workloads,
+        duration=spec.duration,
+    )
+    return ScenarioResult(
+        spec=spec, deployment=deployment, injections=injections, metrics=metrics
+    )
+
+
+# ----- command-line entry point -------------------------------------------
+
+
+def _default_failures(
+    spec: ScenarioSpec, drops: int, corruptions: int, link_failures: int
+) -> tuple[FailureSpec, ...]:
+    """Spread the requested failures over distinct switches and times."""
+    graph = spec.build_topology()
+    nodes = sorted(graph.nodes, key=repr)
+    edges = sorted(graph.edges, key=lambda e: (repr(e[0]), repr(e[1])))
+    total = drops + corruptions + link_failures
+    if total == 0:
+        return ()
+    window = spec.duration / 2.0
+    step = window / total
+    failures: list[FailureSpec] = []
+    when = spec.duration / 4.0
+    for i in range(drops):
+        failures.append(
+            RuleDrop(at=when, node=nodes[i % len(nodes)], rule_index=i)
+        )
+        when += step
+    for i in range(corruptions):
+        failures.append(
+            RuleCorruption(
+                at=when,
+                node=nodes[(drops + i) % len(nodes)],
+                # Offset past the drop indices so a drop and a
+                # corruption landing on the same switch never pick the
+                # same victim rule.
+                rule_index=drops + i,
+            )
+        )
+        when += step
+    for i in range(link_failures):
+        u, v = edges[i % len(edges)]
+        failures.append(LinkFailure(at=when, u=u, v=v))
+        when += step
+    return tuple(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-fleet``: run one scenario and print the fleet report.
+
+    Returns a non-zero exit code when an injected failure went
+    undetected or any healthy switch raised a false alarm, so CI smoke
+    runs fail loudly in both directions.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Run a network-wide Monocle monitoring scenario.",
+    )
+    parser.add_argument("--topology", default="ring", choices=sorted(TOPOLOGIES))
+    parser.add_argument("--size", type=int, default=12)
+    parser.add_argument("--profile", default="ovs", choices=sorted(PROFILES))
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--rules", type=int, default=20,
+                        help="production rules per switch")
+    parser.add_argument("--probe-rate", type=float, default=500.0)
+    parser.add_argument("--strategy", type=int, default=1, choices=(1, 2))
+    parser.add_argument("--algorithm", default="exact",
+                        choices=sorted(ALGORITHMS))
+    parser.add_argument("--static", action="store_true",
+                        help="disable dynamic update confirmation")
+    parser.add_argument("--churn", type=float, default=0.0,
+                        help="rule-churn FlowMods/s across the fleet")
+    parser.add_argument("--traffic", type=int, default=0,
+                        help="background data-plane flows")
+    parser.add_argument("--drops", type=int, default=1,
+                        help="rule-drop failures to inject")
+    parser.add_argument("--corruptions", type=int, default=0,
+                        help="rule-corruption failures to inject")
+    parser.add_argument("--link-failures", type=int, default=0,
+                        help="link failures to inject")
+    args = parser.parse_args(argv)
+
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    seed = (
+        args.seed
+        if args.seed is not None
+        else int(os.environ.get("REPRO_BENCH_SEED", "2015"))
+    )
+    spec = ScenarioSpec(
+        topology=args.topology,
+        size=args.size,
+        profile=args.profile,
+        duration=args.duration,
+        seed=seed,
+        rules_per_switch=max(4, int(args.rules * scale)),
+        probe_rate=args.probe_rate,
+        dynamic=not args.static,
+        strategy=args.strategy,
+        algorithm=args.algorithm,
+    )
+    workloads: list[Workload] = []
+    if args.churn > 0:
+        workloads.append(RuleChurn(rate=args.churn))
+    if args.traffic > 0:
+        workloads.append(BackgroundTraffic(flows=args.traffic))
+
+    try:
+        spec = replace(
+            spec,
+            workloads=tuple(workloads),
+            failures=_default_failures(
+                spec, args.drops, args.corruptions, args.link_failures
+            ),
+        )
+        result = run_scenario(spec)
+    except ScenarioError as exc:
+        parser.error(str(exc))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    print(
+        f"fleet scenario: {spec.topology}-{spec.size} x {spec.profile}, "
+        f"{spec.rules_per_switch} rules/switch, strategy {spec.strategy} "
+        f"({result.deployment.plan.num_reserved_values} reserved values), "
+        f"{spec.duration:.1f}s @ seed {spec.seed}"
+    )
+    print()
+    print(result.report())
+    if not result.metrics.all_detected or result.metrics.false_alarms:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -105,6 +105,26 @@ def _is_excluded(values: Mapping[FieldName, int], field: Field) -> bool:
     return values.get(field.parent, 0) not in field.parent_values
 
 
+def wire_visible_items(
+    values: Mapping[FieldName, int]
+) -> tuple[tuple[FieldName, int], ...]:
+    """The header items a craft -> parse roundtrip preserves, sorted.
+
+    Conditionally-excluded fields (``nw_proto`` on an ARP packet,
+    ``tp_src`` without a transport protocol, ...) never appear on the
+    wire, so an observer — Monocle catching its own probe — cannot see
+    them; comparing observations must ignore them.  Missing fields are
+    treated as 0, mirroring :func:`normalize_abstract_header`.
+    """
+    return tuple(
+        sorted(
+            (field.name, values.get(field.name, 0))
+            for field in HEADER
+            if not _is_excluded(values, field)
+        )
+    )
+
+
 def normalize_abstract_header(
     values: Mapping[FieldName, int],
     rule_matches: Iterable[Match] = (),

@@ -97,6 +97,7 @@ class SwitchStats:
     flowmods_processed: int = 0
     packetouts_processed: int = 0
     barriers_processed: int = 0
+    installs_blackholed: int = 0
     packetins_sent: int = 0
     packetins_dropped: int = 0
     packets_forwarded: int = 0
@@ -150,6 +151,8 @@ class SimulatedSwitch:
         self._pending_installs = 0
         self._last_install_time = 0.0
         self._install_seq = 0
+        self._blackholed_installs = 0
+        self._blackholed_xids: set[int] = set()
 
         # PacketIn token bucket.
         self._pi_tokens = profile.packetin_rate
@@ -222,8 +225,16 @@ class SimulatedSwitch:
         self.sim.at(apply_at, lambda m=mod: self._apply_to_dataplane(m))
 
     def _apply_to_dataplane(self, mod: FlowMod) -> None:
-        apply_flowmod(self.dataplane, mod)
         self._pending_installs -= 1
+        if mod.xid in self._blackholed_xids:
+            self._blackholed_xids.discard(mod.xid)
+            self.stats.installs_blackholed += 1
+            return
+        if self._blackholed_installs > 0:
+            self._blackholed_installs -= 1
+            self.stats.installs_blackholed += 1
+            return
+        apply_flowmod(self.dataplane, mod)
 
     def _complete_packetout(self, msg: PacketOut) -> None:
         self.stats.packetouts_processed += 1
@@ -341,6 +352,24 @@ class SimulatedSwitch:
         if existing is None:
             raise KeyError(f"rule not in dataplane: {rule!r}")
         self.dataplane.install(existing.with_actions(actions))
+
+    def blackhole_next_installs(self, count: int = 1) -> None:
+        """The next ``count`` accepted FlowMods never reach the data
+        plane: the control plane acknowledges and tracks them, but the
+        data plane silently ignores the update (paper §2).
+
+        Count-based and therefore racy when other FlowMods are in
+        flight; use :meth:`blackhole_flowmod` to target a specific
+        update under concurrent control traffic."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0: {count}")
+        self._blackholed_installs += count
+
+    def blackhole_flowmod(self, xid: int) -> None:
+        """Silently drop the data-plane application of the FlowMod with
+        this ``xid`` (whenever it arrives), leaving concurrent updates
+        untouched."""
+        self._blackholed_xids.add(xid)
 
     def fail_port(self, port: int) -> None:
         """All packets emitted on ``port`` vanish (link failure)."""

@@ -21,6 +21,8 @@ attachment (hub-and-spoke ISP flavour) with m in {1, 2}.
 
 from __future__ import annotations
 
+import functools
+
 import networkx as nx
 
 from repro.sim.random import DeterministicRandom
@@ -83,10 +85,15 @@ def _preferential_attachment(
     return graph
 
 
+@functools.lru_cache(maxsize=None)
 def topology_zoo_like_corpus(seed: int = 2015) -> list[nx.Graph]:
     """261 synthetic graphs with Topology-Zoo-like structure.
 
     Each graph's ``graph['name']`` identifies it (``zoo000`` ...).
+
+    The corpus for a given seed is generated once per process and
+    cached (examples and benchmarks index into it repeatedly); treat
+    the returned list and its graphs as read-only.
     """
     rng = DeterministicRandom(seed)
     graphs: list[nx.Graph] = []
@@ -103,8 +110,13 @@ def topology_zoo_like_corpus(seed: int = 2015) -> list[nx.Graph]:
     return graphs
 
 
+@functools.lru_cache(maxsize=None)
 def rocketfuel_like_corpus(seed: int = 2002) -> list[nx.Graph]:
-    """10 synthetic ISP-scale graphs standing in for Rocketfuel."""
+    """10 synthetic ISP-scale graphs standing in for Rocketfuel.
+
+    Cached per seed like :func:`topology_zoo_like_corpus`; treat the
+    result as read-only.
+    """
     rng = DeterministicRandom(seed)
     graphs: list[nx.Graph] = []
     for i, n in enumerate(_ROCKETFUEL_SIZES):

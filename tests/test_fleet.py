@@ -1,0 +1,284 @@
+"""The fleet runtime: spec validation, determinism, end-to-end detection."""
+
+import pytest
+
+from repro.fleet import (
+    AclTables,
+    BackgroundTraffic,
+    FlowModBlackhole,
+    LinkFailure,
+    PrioritySwap,
+    RuleChurn,
+    RuleCorruption,
+    RuleDrop,
+    ScenarioError,
+    ScenarioSpec,
+    run_scenario,
+)
+
+
+class TestScenarioSpecValidation:
+    def test_default_spec_is_valid(self):
+        ScenarioSpec().validate()
+
+    def test_unknown_topology(self):
+        with pytest.raises(ScenarioError, match="topology"):
+            ScenarioSpec(topology="torus").validate()
+
+    def test_unknown_profile(self):
+        with pytest.raises(ScenarioError, match="profile"):
+            ScenarioSpec(profile="cisco").validate()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ScenarioError, match="algorithm"):
+            ScenarioSpec(algorithm="quantum").validate()
+
+    def test_bad_strategy(self):
+        with pytest.raises(ScenarioError, match="strategy"):
+            ScenarioSpec(strategy=3).validate()
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(ScenarioError, match="duration"):
+            ScenarioSpec(duration=0.0).validate()
+
+    def test_negative_rules(self):
+        with pytest.raises(ScenarioError, match="rules_per_switch"):
+            ScenarioSpec(rules_per_switch=-1).validate()
+
+    def test_unbuildable_topology_size(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(topology="ring", size=2).validate()
+
+    def test_failure_after_scenario_end(self):
+        spec = ScenarioSpec(
+            duration=1.0, failures=(RuleDrop(at=2.0, node="sw0"),)
+        )
+        with pytest.raises(ScenarioError, match="outside"):
+            spec.validate()
+
+    def test_failure_missing_node(self):
+        # The None defaults on failure specs exist only for dataclass
+        # inheritance; a spec without its switch must not validate.
+        spec = ScenarioSpec(failures=(RuleDrop(at=0.5),))
+        with pytest.raises(ScenarioError, match="missing"):
+            spec.validate()
+
+    def test_failure_on_unknown_switch(self):
+        spec = ScenarioSpec(
+            topology="ring",
+            size=4,
+            failures=(RuleDrop(at=0.5, node="sw99"),),
+        )
+        with pytest.raises(ScenarioError, match="unknown switch"):
+            spec.validate()
+
+    def test_link_failure_endpoints_checked(self):
+        spec = ScenarioSpec(
+            topology="ring",
+            size=4,
+            failures=(LinkFailure(at=0.5, u="sw0", v="nope"),),
+        )
+        with pytest.raises(ScenarioError, match="unknown switch"):
+            spec.validate()
+
+
+def _ring4_spec(**overrides):
+    defaults = dict(
+        topology="ring",
+        size=4,
+        duration=1.5,
+        seed=11,
+        rules_per_switch=8,
+        dynamic=False,
+        failures=(RuleDrop(at=0.4, node="sw1", rule_index=3),),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_alarm_timeline(self):
+        spec = _ring4_spec(
+            dynamic=True,
+            workloads=(RuleChurn(rate=25.0),),
+            failures=(
+                RuleDrop(at=0.4, node="sw1", rule_index=None),
+                RuleCorruption(at=0.7, node="sw3", rule_index=None),
+            ),
+        )
+        first = run_scenario(spec)
+        # Workload state (churn records, RNG stream) resets per run, so
+        # the very same spec object must reproduce the same scenario.
+        second = run_scenario(spec)
+        assert first.metrics.alarm_timeline == second.metrics.alarm_timeline
+        assert first.metrics.alarm_timeline  # non-vacuous
+        assert [d.latency for d in first.metrics.detections] == [
+            d.latency for d in second.metrics.detections
+        ]
+
+    def test_different_seed_different_churn_schedule(self):
+        # The Poisson churn arrivals are drawn from the deployment's
+        # seeded RNG: a different seed must produce a different stream.
+        churn_a = RuleChurn(rate=40.0)
+        run_scenario(
+            _ring4_spec(seed=11, dynamic=True, failures=(), workloads=(churn_a,))
+        )
+        churn_b = RuleChurn(rate=40.0)
+        run_scenario(
+            _ring4_spec(seed=12, dynamic=True, failures=(), workloads=(churn_b,))
+        )
+        assert [r.sent_at for r in churn_a.records] != [
+            r.sent_at for r in churn_b.records
+        ]
+
+
+class TestRingIntegration:
+    def test_single_rule_drop_detected_once_within_timeout(self):
+        spec = _ring4_spec()
+        result = run_scenario(spec)
+        metrics = result.metrics
+
+        (detection,) = metrics.detections
+        assert detection.detected
+        assert detection.detected_on == "sw1"
+        assert detection.alarm_kind == "missing"
+        # One cycle (8 rules / 500 per s) + probe timeout + slack.
+        cycle = spec.rules_per_switch / spec.probe_rate
+        assert detection.latency < cycle + 2 * spec.probe_timeout
+
+        # Exactly one detection record, and no alarms anywhere else.
+        assert not metrics.false_alarms
+        for sw in metrics.per_switch:
+            if sw.node != "sw1":
+                assert sw.alarms == 0
+
+    def test_healthy_fleet_raises_no_alarms(self):
+        result = run_scenario(_ring4_spec(failures=()))
+        assert not result.metrics.detections
+        assert not result.metrics.false_alarms
+        assert result.metrics.alarm_timeline == []
+        assert result.metrics.probes_confirmed > 0
+
+    def test_flowmod_blackhole_detected(self):
+        spec = _ring4_spec(
+            dynamic=True,
+            duration=3.0,
+            update_deadline=0.5,
+            failures=(FlowModBlackhole(at=0.3, node="sw2"),),
+        )
+        result = run_scenario(spec)
+        (detection,) = result.metrics.detections
+        assert detection.detected
+        assert detection.detected_on == "sw2"
+        # The switch accepted but never applied the rule: the dynamic
+        # monitor gives up on the unconfirmable update...
+        assert result.metrics.updates_given_up >= 1
+        # ...and the steady-state cycle then alarms on the ghost rule.
+        assert detection.latency > spec.update_deadline
+        assert not result.metrics.false_alarms
+        assert result.deployment.switch("sw2").stats.installs_blackholed == 1
+
+    def test_flowmod_blackhole_under_churn_hits_its_own_flowmod(self):
+        # The blackhole must target the injected FlowMod, not whichever
+        # churn FlowMod happens to reach the data plane next.
+        spec = _ring4_spec(
+            dynamic=True,
+            duration=3.0,
+            update_deadline=0.5,
+            seed=3,
+            workloads=(RuleChurn(rate=200.0),),
+            failures=(FlowModBlackhole(at=0.3, node="sw2"),),
+        )
+        result = run_scenario(spec)
+        assert result.metrics.all_detected
+        assert not result.metrics.false_alarms
+        assert result.deployment.switch("sw2").stats.installs_blackholed == 1
+
+    def test_impossible_injection_recorded_not_raised(self):
+        # Endpoint of a linear topology has a single switch-facing
+        # port: corruption has no wrong port to rewire to.  The run
+        # must complete, flagging the injection instead of crashing.
+        spec = ScenarioSpec(
+            topology="linear",
+            size=3,
+            duration=0.5,
+            seed=5,
+            rules_per_switch=4,
+            dynamic=False,
+            failures=(RuleCorruption(at=0.2, node="sw0", rule_index=0),),
+        )
+        result = run_scenario(spec)
+        (detection,) = result.metrics.detections
+        assert not detection.detected
+        assert detection.injection.error is not None
+        assert "no other port" in detection.injection.error
+        assert not result.metrics.all_detected
+
+    def test_priority_swap_detected(self):
+        result = run_scenario(
+            _ring4_spec(failures=(PrioritySwap(at=0.4, node="sw0"),))
+        )
+        (detection,) = result.metrics.detections
+        assert detection.detected
+        assert detection.alarm_kind == "misbehaving"
+        assert not result.metrics.false_alarms
+
+    def test_churn_confirmations_recorded(self):
+        churn = RuleChurn(rate=40.0, start=0.05)
+        result = run_scenario(
+            _ring4_spec(dynamic=True, failures=(), workloads=(churn,))
+        )
+        latencies = churn.confirmation_latencies()
+        assert latencies
+        assert result.metrics.confirmation_latency is not None
+        assert result.metrics.confirmation_latency.count == len(latencies)
+        assert all(lat >= 0 for lat in latencies)
+
+    def test_background_traffic_delivered_under_monitoring(self):
+        traffic = BackgroundTraffic(flows=2, rate=50.0)
+        result = run_scenario(
+            _ring4_spec(failures=(), workloads=(traffic,))
+        )
+        assert traffic.packets_sent() > 0
+        # The monitored fabric still forwards production traffic.
+        assert traffic.packets_delivered() > 0.9 * traffic.packets_sent()
+        assert not result.metrics.false_alarms
+
+    def test_acl_tables_do_not_false_alarm(self):
+        result = run_scenario(
+            _ring4_spec(
+                failures=(),
+                workloads=(AclTables(num_switches=2, rules_per_table=15),),
+            )
+        )
+        assert not result.metrics.false_alarms
+        # ACL rules were actually installed on the first two switches.
+        assert len(result.deployment.production_rules["sw0"]) > 8
+
+
+class TestLargerTopology:
+    def test_ring12_multi_failure_scenario(self):
+        """The acceptance scenario: >= 12 switches, every injected
+        failure detected, healthy switches silent."""
+        spec = ScenarioSpec(
+            topology="ring",
+            size=12,
+            duration=2.5,
+            seed=2015,
+            rules_per_switch=10,
+            workloads=(RuleChurn(rate=20.0),),
+            failures=(
+                RuleDrop(at=0.5, node="sw2", rule_index=1),
+                RuleCorruption(at=1.0, node="sw8", rule_index=4),
+            ),
+        )
+        result = run_scenario(spec)
+        metrics = result.metrics
+        assert len(metrics.per_switch) == 12
+        assert metrics.all_detected
+        assert not metrics.false_alarms
+        healthy = {"sw2", "sw8"}
+        for sw in metrics.per_switch:
+            if sw.node not in healthy:
+                assert sw.alarms == 0
+            assert sw.probes_sent > 0

@@ -43,11 +43,42 @@ class TestOutcomeObservations:
 
     def test_in_port_stripped(self):
         outcome = RuleOutcome(
-            emissions=((1, ((FieldName.IN_PORT, 4), (FieldName.NW_TOS, 2))),)
+            emissions=(
+                (
+                    1,
+                    (
+                        (FieldName.IN_PORT, 4),
+                        (FieldName.DL_TYPE, 0x0800),
+                        (FieldName.NW_TOS, 2),
+                    ),
+                ),
+            )
         )
         ((port, items),) = outcome_observations(outcome, None)
         assert FieldName.IN_PORT not in dict(items)
         assert dict(items)[FieldName.NW_TOS] == 2
+
+    def test_wire_invisible_fields_projected_out(self):
+        # nw_tos is not representable on the wire without dl_type=0x0800,
+        # so an observer can never see it; the observation model must
+        # drop it (an ARP probe's caught copy carries no IP fields).
+        outcome = RuleOutcome(
+            emissions=(
+                (
+                    1,
+                    (
+                        (FieldName.DL_TYPE, 0x0806),
+                        (FieldName.NW_DST, 0x0A000001),
+                        (FieldName.NW_TOS, 2),
+                        (FieldName.TP_DST, 80),
+                    ),
+                ),
+            )
+        )
+        ((_port, items),) = outcome_observations(outcome, None)
+        assert FieldName.NW_TOS not in dict(items)
+        assert FieldName.TP_DST not in dict(items)
+        assert dict(items)[FieldName.NW_DST] == 0x0A000001
 
 
 class TestExpectedTableTracking:

@@ -87,11 +87,19 @@ class TestCorpora:
         assert all(nx.is_connected(g) for g in corpus[:50])
 
     def test_zoo_deterministic(self):
-        a = topology_zoo_like_corpus(seed=1)
+        # Bypass the memoization cache for one arm so this still checks
+        # generation determinism, not just cache identity.
+        a = topology_zoo_like_corpus.__wrapped__(seed=1)
         b = topology_zoo_like_corpus(seed=1)
         assert [g.number_of_edges() for g in a] == [
             g.number_of_edges() for g in b
         ]
+
+    def test_zoo_corpus_memoized(self):
+        assert topology_zoo_like_corpus(seed=1) is topology_zoo_like_corpus(
+            seed=1
+        )
+        assert rocketfuel_like_corpus() is rocketfuel_like_corpus()
 
     def test_rocketfuel_corpus_shape(self):
         corpus = rocketfuel_like_corpus()
