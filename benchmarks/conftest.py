@@ -11,9 +11,18 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE``: float multiplier on workload sizes (default 1.0
   uses CI-friendly sizes; the full paper-scale run is noted per bench).
 * ``REPRO_BENCH_SEED``: base RNG seed (default 2015).
+* ``REPRO_BENCH_OUT``: directory for machine-readable ``BENCH_*.json``
+  artifacts (default: current working directory).
+
+Benchmarks that track a performance trajectory write a ``BENCH_*.json``
+artifact via :func:`write_bench_artifact`; CI uploads every
+``BENCH_*.json`` produced by a run, so regressions are visible as data,
+not just as prose in a log.
 """
 
+import json
 import os
+import pathlib
 
 import pytest
 
@@ -43,3 +52,20 @@ def print_header(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable benchmark artifact.
+
+    The file lands at ``$REPRO_BENCH_OUT/BENCH_<name>.json`` (default:
+    the working directory) with the scale and seed of the run stamped
+    in, so trajectories across commits compare like with like.
+    """
+    out_dir = pathlib.Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("scale", bench_scale())
+    payload.setdefault("seed", bench_seed())
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

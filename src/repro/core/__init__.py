@@ -20,8 +20,15 @@
   PacketOut/PacketIn between Monitors and switches (§7).
 """
 
-from repro.core.constraints import ConstraintCompiler, DistinguishEncoding
+from repro.core.constraints import (
+    ConstraintCompiler,
+    DistinguishEncoding,
+    IncrementalProbeEncoder,
+    SolverSink,
+)
 from repro.core.probegen import (
+    ProbeGenContext,
+    ProbeGenContextStats,
     ProbeGenerator,
     ProbeResult,
     UnmonitorableReason,
@@ -35,6 +42,10 @@ from repro.core.droppostpone import postpone_drop_rule, DROP_TAG_TOS
 __all__ = [
     "ConstraintCompiler",
     "DistinguishEncoding",
+    "IncrementalProbeEncoder",
+    "SolverSink",
+    "ProbeGenContext",
+    "ProbeGenContextStats",
     "ProbeGenerator",
     "ProbeResult",
     "UnmonitorableReason",

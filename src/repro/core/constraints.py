@@ -33,7 +33,14 @@ from repro.openflow.fields import HEADER, FieldName
 from repro.openflow.match import Match
 from repro.openflow.rule import Rule
 from repro.sat.cnf import CNF, Lit
-from repro.sat.encode import clause_and, clause_or, constant, ite_chain
+from repro.sat.encode import (
+    assert_ite_chain,
+    clause_and,
+    clause_or,
+    constant,
+    ite_chain,
+)
+from repro.sat.incremental import IncrementalSolver
 
 
 class DistinguishEncoding(str, enum.Enum):
@@ -43,19 +50,63 @@ class DistinguishEncoding(str, enum.Enum):
     VELEV_ITE = "velev_ite"
 
 
+class SolverSink:
+    """Adapts an :class:`~repro.sat.incremental.IncrementalSolver` to
+    the ``new_var``/``add_clause``/``add_unit`` surface the encode
+    helpers and :class:`ConstraintCompiler` expect.
+
+    With ``group`` set, every emitted clause lands in that clause group
+    (transient, retractable); with ``group=None`` clauses are permanent.
+    """
+
+    __slots__ = ("solver", "group")
+
+    def __init__(
+        self, solver: IncrementalSolver, group: int | None = None
+    ) -> None:
+        self.solver = solver
+        self.group = group
+
+    def new_var(self) -> int:
+        # Group-tied auxiliaries return to the solver's recycling pool
+        # when the group is retired.
+        return self.solver.new_var(self.group)
+
+    def add_clause(self, literals) -> None:
+        self.solver.add_clause(literals, group=self.group)
+
+    def add_unit(self, lit: Lit) -> None:
+        self.solver.add_unit(lit, group=self.group)
+
+    @property
+    def num_vars(self) -> int:
+        return self.solver.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return self.solver.num_clauses
+
+
 class ConstraintCompiler:
     """Compiles Table 1 constraints for one probed rule into a CNF.
 
     Variables ``1 .. HEADER_BITS`` are the abstract header bits in layout
     order (variable ``i`` is bit ``i-1``); everything above is Tseitin.
+
+    Args:
+        encoding: Distinguish-chain encoding variant.
+        sink: formula destination; defaults to a fresh :class:`CNF`.
+            Passing a :class:`SolverSink` retargets every emitted clause
+            at a persistent incremental solver instead.
     """
 
     def __init__(
         self,
         encoding: DistinguishEncoding = DistinguishEncoding.ASSERTED_CHAIN,
+        sink: "CNF | SolverSink | None" = None,
     ) -> None:
         self.encoding = encoding
-        self.cnf = CNF(HEADER.total_bits)
+        self.cnf = sink if sink is not None else CNF(HEADER.total_bits)
 
     # ----- bit-level helpers ---------------------------------------------
 
@@ -252,27 +303,18 @@ class ConstraintCompiler:
     ) -> None:
         """Linear encoding of ``If(m1,d1, If(m2,d2, ... else)) = True``.
 
-        For each branch ``k``:  ``(m1 | ... | m_{k-1} | !m_k | d_k)``;
-        for the else branch:    ``(m1 | ... | m_n | else)``.
-        Guards appearing positively use a Tseitin AND literal; the
-        negated guard ``!m_k`` expands to the clause of negated bit
-        literals directly (no auxiliary variable needed).
+        Guards become Tseitin AND literals; the chain itself is the
+        linear prefix-variable construction of
+        :func:`~repro.sat.encode.assert_ite_chain` — 2 short clauses per
+        branch instead of the prefix-repetition encoding whose clause
+        mass grows quadratically with chain length (the difference is
+        minutes vs seconds on 1000-rule Distinguish chains).
         """
-        prefix_lits: list[Lit] = []
-        for guard_literals, value in guards_and_values:
-            if value is not True:
-                # Clause: earlier guard true, OR this guard false, OR value.
-                clause = list(prefix_lits)
-                clause.extend(-lit for lit in guard_literals)
-                if value is not False:
-                    clause.append(value)
-                self.cnf.add_clause(clause)
-            prefix_lits.append(clause_and(self.cnf, guard_literals))
-        if else_value is not True:
-            clause = list(prefix_lits)
-            if else_value is not False:
-                clause.append(else_value)
-            self.cnf.add_clause(clause)
+        branches = [
+            (clause_and(self.cnf, guard_literals), value)
+            for guard_literals, value in guards_and_values
+        ]
+        assert_ite_chain(self.cnf, branches, else_value)
 
     def _assert_chain_velev(
         self,
@@ -311,3 +353,104 @@ class ConstraintCompiler:
                     value |= 1
             values[field.name] = value
         return values
+
+
+class IncrementalProbeEncoder:
+    """Constraint emission over a *persistent* per-switch solver.
+
+    Where :class:`ConstraintCompiler` rebuilds every formula from
+    scratch, this encoder keeps the reusable parts of the probe
+    constraints alive inside an :class:`~repro.sat.incremental.
+    IncrementalSolver` across probes and across table churn:
+
+    * **match guards** — the Tseitin literal ``m <-> Matches(P, match)``
+      for each match, cached by :class:`~repro.openflow.match.Match`
+      value.  Guard definitions never constrain the header variables on
+      their own, so they are emitted permanently and survive rule
+      deletion (a re-added or re-used match costs nothing).
+    * **DiffOutcome literals** — per action-list pair, same reasoning.
+    * the **catching match** and the ``in_port`` domain restriction,
+      asserted permanently at construction (they apply to every probe).
+
+    Only the probed-rule-specific parts remain per-call: Hit bits and
+    negated higher-rule guards travel as *assumptions*; the Distinguish
+    chain goes into a transient clause group retired after the solve.
+    The incremental Distinguish always uses the linear asserted-chain
+    construction (the Velev ablation only applies to the from-scratch
+    compiler).
+    """
+
+    def __init__(
+        self,
+        solver: IncrementalSolver,
+        catch_match: Match,
+        valid_in_ports: "tuple[int, ...] | None" = None,
+    ) -> None:
+        if solver.num_vars < HEADER.total_bits:
+            raise ValueError(
+                "incremental solver must pre-allocate the header bits"
+            )
+        self.solver = solver
+        self.compiler = ConstraintCompiler(sink=SolverSink(solver))
+        self._guards: dict[Match, Lit] = {}
+        #: DiffOutcome cache keyed by the (probed, other) action lists.
+        #: ActionList hashes by value (its actions tuple), so rules with
+        #: equal behaviour share one cached DiffOutcome literal.
+        self._diffs: dict[tuple, "bool | Lit"] = {}
+        self.compiler.assert_matches(catch_match)
+        if valid_in_ports is not None:
+            self.compiler.assert_value_in(FieldName.IN_PORT, valid_in_ports)
+
+    # ----- reusable pieces ------------------------------------------------
+
+    def guard(self, match: Match) -> Lit:
+        """The cached literal equivalent to ``Matches(P, match)``."""
+        lit = self._guards.get(match)
+        if lit is None:
+            lit = self.compiler.matches_lit(match)
+            self._guards[match] = lit
+        return lit
+
+    @property
+    def cached_guards(self) -> int:
+        return len(self._guards)
+
+    def match_assumptions(self, match: Match) -> list[Lit]:
+        """Per-bit literals asserting ``Matches(P, match)`` (no clauses)."""
+        return self.compiler.match_literals(match)
+
+    def diff_outcome(self, probed: Rule, other: Rule | None) -> "bool | Lit":
+        """Cached ``DiffOutcome(P, probed, other)`` (bool or literal)."""
+        if other is None:
+            return self.compiler.diff_outcome(probed, None)
+        key = (probed.actions, other.actions)
+        cached = self._diffs.get(key)
+        if cached is None:
+            cached = self.compiler.diff_outcome(probed, other)
+            self._diffs[key] = cached
+        return cached
+
+    # ----- per-probe emission ---------------------------------------------
+
+    def assert_distinguish(
+        self,
+        probed: Rule,
+        lower_rules: Sequence[Rule],
+        group: int,
+        miss_rule: Rule | None = None,
+    ) -> None:
+        """Emit the Distinguish chain into a transient clause group.
+
+        The group's selector must be assumed for the solve and retired
+        afterwards; guard and DiffOutcome literals referenced by the
+        chain are the persistent cached ones.
+        """
+        ordered = sorted(lower_rules, key=lambda r: -r.priority)
+        branches = [
+            (self.guard(rule.match), self.diff_outcome(probed, rule))
+            for rule in ordered
+        ]
+        else_value = self.diff_outcome(probed, miss_rule)
+        assert_ite_chain(
+            SolverSink(self.solver, group), branches, else_value
+        )

@@ -200,11 +200,22 @@ class DynamicMonitor:
         Copy the expected table, drop all rules with lower priority,
         reinsert the old version one priority level below, and run
         standard probe generation for the new version.
+
+        By the §5.4 lemma only rules overlapping the modified match can
+        enter the probe's constraints, so the altered table is built
+        from the overlap candidates instead of a full table copy —
+        churning one rule of an N-rule table costs O(overlap) installs,
+        not O(N).
         """
         if old_rule.priority == 0:
             return None  # cannot demote below priority 0
+        expected = self.monitor.expected
+        if self.monitor.generator.overlap_filter:
+            pool = expected.overlapping(old_rule.match)
+        else:
+            pool = expected.rules()
         altered = FlowTable(check_overlap=False)
-        for rule in self.monitor.expected:
+        for rule in pool:
             if rule.priority > old_rule.priority:
                 altered.install(rule)
         altered.install(new_rule)

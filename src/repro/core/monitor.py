@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
 from repro.core.probegen import (
+    ProbeGenContext,
     ProbeGenerator,
     ProbeResult,
     UnmonitorableReason,
@@ -33,7 +34,6 @@ from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.fields import FieldName
 from repro.openflow.messages import FlowMod, Message, PacketIn
 from repro.openflow.rule import Rule, RuleOutcome
-from repro.openflow.table import FlowTable
 from repro.packets.craft import wire_visible_items
 from repro.packets.parse import ParseError, parse_packet
 from repro.packets.payload import ProbeMetadata
@@ -153,12 +153,19 @@ class Monitor:
         self.forward_up = forward_up
         self.inject_probe = inject_probe
 
-        #: Expected (control-plane view) flow table, catch rules included.
-        self.expected = FlowTable(check_overlap=False)
+        #: The incremental probe-generation engine: persistent SAT
+        #: context, per-rule probe cache with intersection-precise
+        #: invalidation and revalidation (replaces the old blunt
+        #: ``_invalidate_cache``).
+        self.probe_context = ProbeGenContext(
+            generator, validate_result=self._check_observability
+        )
+        #: Expected (control-plane view) flow table, catch rules
+        #: included.  Shared with (owned by) the probe context so delta
+        #: updates and probe generation see one table.
+        self.expected = self.probe_context.table
         self.alarms: list[MonitorAlarm] = []
         self.outstanding: dict[int, OutstandingProbe] = {}
-        #: Per-rule probe cache; invalidated on overlapping table changes.
-        self._probe_cache: dict[tuple, ProbeResult] = {}
         self._cycle_keys: list[tuple] = []
         self._cycle_position = 0
         self._steady_running = False
@@ -173,29 +180,18 @@ class Monitor:
 
     def preinstall(self, rule: Rule) -> None:
         """Record a rule installed out-of-band (catch rules, initial state)."""
-        self.expected.install(rule)
-        self._invalidate_cache(rule.match)
+        self.probe_context.add_rule(rule)
 
     def observe_flowmod(self, mod: FlowMod) -> None:
         """Track a FlowMod the controller sent (steady-state tracking).
 
         Dynamic-mode interception (queueing + acks) is layered on top by
-        :class:`~repro.core.dynamic.DynamicMonitor`.
+        :class:`~repro.core.dynamic.DynamicMonitor`.  The probe context
+        applies the FlowMod to the expected table and stale-marks only
+        cached probes whose rule intersects the rules actually touched.
         """
-        from repro.switches.switch import apply_flowmod  # local: avoid cycle
-
-        apply_flowmod(self.expected, mod)
-        self._invalidate_cache(mod.match)
+        self.probe_context.apply_flowmod(mod)
         self._rebuild_cycle()
-
-    def _invalidate_cache(self, match) -> None:
-        stale = [
-            key
-            for key, cached in self._probe_cache.items()
-            if cached.rule.match.overlaps(match)
-        ]
-        for key in stale:
-            del self._probe_cache[key]
 
     # ----- proxy data path ---------------------------------------------------
 
@@ -230,16 +226,13 @@ class Monitor:
     # ----- probe generation ---------------------------------------------------
 
     def probe_for_rule(self, rule: Rule) -> ProbeResult:
-        """Probe for ``rule`` in the current expected table (cached)."""
-        key = rule.key()
-        cached = self._probe_cache.get(key)
-        if cached is not None and cached.rule == rule:
-            return cached
-        result = self.generator.generate(self.expected, rule)
-        if result.ok:
-            result = self._check_observability(result)
-        self._probe_cache[key] = result
-        return result
+        """Probe for ``rule`` in the current expected table.
+
+        Served by the incremental engine: cache hit, cheap revalidation
+        of a stale-marked entry, or an assumption-based incremental SAT
+        solve — in that order.
+        """
+        return self.probe_context.probe_for(rule)
 
     def _check_observability(self, result: ProbeResult) -> ProbeResult:
         """Demote probes whose outcomes can't be told apart from what

@@ -25,14 +25,21 @@ from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
-from repro.core.constraints import ConstraintCompiler, DistinguishEncoding
+from repro.core.constraints import (
+    ConstraintCompiler,
+    DistinguishEncoding,
+    IncrementalProbeEncoder,
+)
 from repro.openflow.fields import FieldName, HEADER
 from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod
 from repro.openflow.rule import Rule, RuleOutcome
 from repro.openflow.table import FlowTable
 from repro.packets.craft import CraftError, craft_packet, normalize_abstract_header
+from repro.sat.incremental import IncrementalSolver
 from repro.sat.solver import SatSolver
 
 
@@ -178,31 +185,9 @@ class ProbeGenerator:
         if not sat.satisfiable:
             result.reason = UnmonitorableReason.UNSATISFIABLE
             return result
-
-        raw_values = compiler.decode_assignment(sat.assignment)
-        # The §5.2 substitution lemma only needs the matches the probe
-        # can interact with: by the §5.4 non-overlap lemma, a probe that
-        # matches the probed rule can never match a non-overlapping rule
-        # regardless of what value the substituted field takes.
-        relevant = (
-            [rule.match]
-            + [r.match for r in candidates]
-            + [self.catch_match]
+        return _decode_probe(
+            result, rule, candidates, self.catch_match, sat.assignment
         )
-        try:
-            header = normalize_abstract_header(raw_values, relevant)
-            packet = craft_packet(header)
-        except CraftError:
-            result.reason = UnmonitorableReason.UNCRAFTABLE
-            return result
-
-        result.ok = True
-        result.header = header
-        result.packet = packet
-        result.outcome_present, result.outcome_absent = _candidate_outcomes(
-            rule, candidates, header
-        )
-        return result
 
     # ----- validation ------------------------------------------------------
 
@@ -224,6 +209,40 @@ class ProbeGenerator:
     def validate_table(self, table: FlowTable) -> None:
         """Audit a whole table against the reserved-field assumption."""
         self._check_reserved_fields(table)
+
+
+def _decode_probe(
+    result: ProbeResult,
+    rule: Rule,
+    candidates: list[Rule],
+    catch_match: Match,
+    assignment: dict[int, bool],
+) -> ProbeResult:
+    """Shared tail of both engines: model -> wire probe -> outcomes.
+
+    The §5.2 substitution lemma only needs the matches the probe can
+    interact with: by the §5.4 non-overlap lemma, a probe that matches
+    the probed rule can never match a non-overlapping rule regardless
+    of what value the substituted field takes.
+    """
+    raw_values = ConstraintCompiler.decode_assignment(assignment)
+    relevant = (
+        [rule.match] + [r.match for r in candidates] + [catch_match]
+    )
+    try:
+        header = normalize_abstract_header(raw_values, relevant)
+        packet = craft_packet(header)
+    except CraftError:
+        result.reason = UnmonitorableReason.UNCRAFTABLE
+        return result
+
+    result.ok = True
+    result.header = header
+    result.packet = packet
+    result.outcome_present, result.outcome_absent = _candidate_outcomes(
+        rule, candidates, header
+    )
+    return result
 
 
 def _candidate_outcomes(
@@ -302,3 +321,324 @@ def verify_probe(
             f"absent={absent}"
         )
     return True, "ok"
+
+
+# --------------------------------------------------------------------------
+# Incremental probe generation
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ProbeGenContextStats:
+    """Counters describing how much work the delta API avoided.
+
+    ``probes_generated`` counts actual incremental SAT solves;
+    ``cache_hits`` and ``revalidations`` are probes served without one.
+    """
+
+    probes_generated: int = 0
+    cache_hits: int = 0
+    revalidations: int = 0
+    invalidations: int = 0
+    rules_added: int = 0
+    rules_modified: int = 0
+    rules_removed: int = 0
+    solver_conflicts: int = 0
+    generation_seconds: float = 0.0
+    engine_rebuilds: int = 0
+
+
+class ProbeGenContext:
+    """Persistent per-switch probe-generation engine (the delta API).
+
+    Wraps one switch's expected flow table plus a persistent
+    :class:`~repro.sat.incremental.IncrementalSolver`, so that rule
+    churn costs only its delta instead of a from-scratch re-encode:
+
+    * :meth:`add_rule` / :meth:`remove_rule` / :meth:`apply_flowmod`
+      update the table and *stale-mark* exactly the cached probes whose
+      rule match intersects the change (everything else stays served
+      from cache untouched);
+    * :meth:`probe_for` first tries the cache, then — for stale entries
+      — a cheap simulation-based *revalidation* against the new table,
+      and only falls back to an (incremental, assumption-based) SAT
+      solve when the cached probe genuinely died.
+
+    Reusable constraint pieces (match guards, DiffOutcome literals, the
+    catching match, learned lemmas, solver heuristics) persist inside
+    the solver across calls; see
+    :class:`~repro.core.constraints.IncrementalProbeEncoder`.
+
+    The configuration (catch match, in_port domain, conflict budget,
+    overlap filter) is borrowed from a :class:`ProbeGenerator` so the
+    two paths are interchangeable; ``validate_result`` is an optional
+    post-generation hook (the Monitor's observability demotion).
+    """
+
+    def __init__(
+        self,
+        generator: ProbeGenerator,
+        table: FlowTable | None = None,
+        validate_result: Callable[[ProbeResult], ProbeResult] | None = None,
+        rebuild_floor: int = 1024,
+    ) -> None:
+        self.generator = generator
+        self.table = (
+            table if table is not None else FlowTable(check_overlap=False)
+        )
+        self.validate_result = validate_result
+        #: Re-found the persistent solver once the encoder caches this
+        #: many guards beyond twice the live table (see _maybe_rebuild).
+        self.rebuild_floor = rebuild_floor
+        self.stats = ProbeGenContextStats()
+        self._cache: dict[tuple[int, Match], ProbeResult] = {}
+        self._stale: set[tuple[int, Match]] = set()
+        self._fresh_engine()
+
+    def _fresh_engine(self) -> None:
+        self.solver = IncrementalSolver(HEADER.total_bits)
+        self.encoder = IncrementalProbeEncoder(
+            self.solver,
+            catch_match=self.generator.catch_match,
+            valid_in_ports=self.generator.valid_in_ports,
+        )
+
+    def _maybe_rebuild(self) -> None:
+        """Bound encoder growth under non-recycled churn.
+
+        Match-guard and DiffOutcome definitions are permanent in the
+        solver (that is what makes them reusable), so a workload that
+        keeps inventing fresh matches accumulates encodings for rules
+        long deleted.  When dead guards dominate the live table, start
+        a fresh solver: live guards re-encode lazily on the next
+        probes, cached probe results (plain headers/outcomes, no solver
+        references) stay valid.
+        """
+        live = len(self.table) + 1
+        if self.encoder.cached_guards <= max(self.rebuild_floor, 2 * live):
+            return
+        self._fresh_engine()
+        self.stats.engine_rebuilds += 1
+
+    # ----- delta API ------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        """Install (or replace) a rule and invalidate what it touches."""
+        self.table.install(rule)
+        self.stats.rules_added += 1
+        self._invalidate(rule.match)
+
+    def remove_rule(self, rule: Rule) -> None:
+        """Remove a rule (by key) and invalidate what it touched."""
+        if self.table.remove(rule):
+            self.stats.rules_removed += 1
+            self._evict(rule.key())
+            self._invalidate(rule.match)
+            self._maybe_rebuild()
+
+    def apply_flowmod(self, mod: FlowMod) -> list[Rule]:
+        """Apply FlowMod semantics to the table; returns affected rules.
+
+        Invalidation is per *affected rule* — a non-strict DELETE whose
+        broad match removes two rules only stale-marks probes
+        intersecting those two rules, not everything under the match.
+        """
+        from repro.openflow.messages import FlowModCommand
+        from repro.switches.switch import apply_flowmod  # local: avoid cycle
+
+        deleting = mod.command in (
+            FlowModCommand.DELETE,
+            FlowModCommand.DELETE_STRICT,
+        )
+        modifying = mod.command in (
+            FlowModCommand.MODIFY,
+            FlowModCommand.MODIFY_STRICT,
+        )
+        # Distinguishes a real in-place MODIFY from the OF 1.0
+        # modify-with-no-target fallback, which installs a new rule.
+        had_key = self.table.get(mod.priority, mod.match) is not None
+        affected = apply_flowmod(self.table, mod)
+        for rule in affected:
+            if deleting:
+                self.stats.rules_removed += 1
+                self._evict(rule.key())
+            elif modifying and (
+                rule.key() != (mod.priority, mod.match) or had_key
+            ):
+                self.stats.rules_modified += 1
+            else:
+                self.stats.rules_added += 1
+            self._invalidate(rule.match)
+        if deleting and affected:
+            self._maybe_rebuild()
+        return affected
+
+    def _evict(self, key: tuple[int, Match]) -> None:
+        """Drop a removed rule's own cache entry outright.
+
+        Stale-marking is for probes that may survive a neighbour's
+        churn; a deleted rule's probe can never be asked for again
+        under that key, and keeping it would grow the cache (and the
+        per-change invalidation scan) with every rule ever churned.
+        """
+        self._cache.pop(key, None)
+        self._stale.discard(key)
+
+    def _invalidate(self, match: Match) -> None:
+        """Stale-mark cached probes whose rule intersects ``match``."""
+        for key, cached in self._cache.items():
+            if key in self._stale:
+                continue
+            if cached.rule.match.overlaps(match):
+                self._stale.add(key)
+                self.stats.invalidations += 1
+
+    def clear_cache(self) -> None:
+        """Drop all cached probes (benchmark/ablation hook)."""
+        self._cache.clear()
+        self._stale.clear()
+
+    # ----- probe generation ----------------------------------------------
+
+    def probe_for(self, rule: Rule) -> ProbeResult:
+        """A probe for ``rule`` in the current table.
+
+        Service order: exact cache hit, cheap revalidation of a
+        stale-marked hit, incremental SAT solve.
+        """
+        key = rule.key()
+        cached = self._cache.get(key)
+        if cached is not None and cached.rule == rule:
+            if key not in self._stale:
+                self.stats.cache_hits += 1
+                return cached
+            refreshed = self._revalidate(rule, cached)
+            if refreshed is not None:
+                self._cache[key] = refreshed
+                self._stale.discard(key)
+                self.stats.revalidations += 1
+                return refreshed
+        result = self._generate(rule)
+        if result.ok and self.validate_result is not None:
+            result = self.validate_result(result)
+        self._cache[key] = result
+        self._stale.discard(key)
+        return result
+
+    def _candidates(self, rule: Rule) -> list[Rule]:
+        if self.generator.overlap_filter:
+            candidates = self.table.overlapping(rule.match)
+        else:
+            candidates = self.table.rules()
+        return [r for r in candidates if r.key() != rule.key()]
+
+    def _revalidate(self, rule: Rule, cached: ProbeResult) -> ProbeResult | None:
+        """Re-check a stale cached probe against the current table.
+
+        A churned neighbour usually leaves an existing probe packet
+        perfectly usable; replaying Table 1 over the overlap candidates
+        costs microseconds where a SAT solve costs milliseconds.
+        Returns a refreshed result, or None when the probe truly died.
+        """
+        if not cached.ok or cached.header is None:
+            return None  # cached failures must be re-derived
+        header = cached.header
+        candidates = self._candidates(rule)
+        # Same refusal as both generation paths: rules rewriting
+        # probe-reserved fields make any probe unsound (§3.2).
+        self.generator._check_reserved_fields([rule] + candidates)
+        # Hit: the probed rule must still win for this header.
+        ordered = sorted(candidates + [rule], key=lambda r: -r.priority)
+        winner = next(
+            (r for r in ordered if r.match.matches(header)), None
+        )
+        if winner is None or winner.key() != rule.key():
+            return None
+        present, absent = _candidate_outcomes(rule, candidates, header)
+        if not present.distinguishable_from(absent):
+            return None
+        refreshed = replace(
+            cached,
+            outcome_present=present,
+            outcome_absent=absent,
+            overlapping_rules=len(candidates),
+            generation_time=0.0,
+        )
+        if self.validate_result is not None:
+            refreshed = self.validate_result(refreshed)
+            if not refreshed.ok:
+                return None
+        return refreshed
+
+    def _generate(self, rule: Rule) -> ProbeResult:
+        """One incremental, assumption-based probe generation."""
+        start = time.perf_counter()
+        generator = self.generator
+        candidates = self._candidates(rule)
+        generator._check_reserved_fields([rule] + candidates)
+        higher = [r for r in candidates if r.priority > rule.priority]
+        lower = [r for r in candidates if r.priority < rule.priority]
+
+        encoder = self.encoder
+        group = self.solver.new_group()
+        try:
+            encoder.assert_distinguish(
+                rule, lower, group, miss_rule=generator.miss_rule
+            )
+            assumptions = [group]
+            assumptions.extend(encoder.match_assumptions(rule.match))
+            for other in higher:
+                assumptions.append(-encoder.guard(other.match))
+            sat = self.solver.solve(
+                assumptions, max_conflicts=generator.max_conflicts
+            )
+        finally:
+            self.solver.retire_group(group)
+
+        self.stats.probes_generated += 1
+        self.stats.solver_conflicts += sat.conflicts
+        result = ProbeResult(
+            rule=rule,
+            ok=False,
+            cnf_vars=self.solver.num_vars,
+            cnf_clauses=self.solver.num_clauses,
+            overlapping_rules=len(candidates),
+            solver_conflicts=sat.conflicts,
+        )
+        try:
+            if sat.satisfiable is None:
+                result.reason = UnmonitorableReason.BUDGET_EXCEEDED
+                return result
+            if not sat.satisfiable:
+                result.reason = UnmonitorableReason.UNSATISFIABLE
+                return result
+            result = _decode_probe(
+                result, rule, candidates, generator.catch_match,
+                sat.assignment,
+            )
+            if result.ok:
+                # Re-simulate Table 1 on the decoded model.  The
+                # incremental solver runs with its internal model check
+                # off; this independent (and cheaper) check replaces it
+                # — a violation is a solver/encoder bug, not user error.
+                ordered = sorted(
+                    candidates + [rule], key=lambda r: -r.priority
+                )
+                winner = next(
+                    (r for r in ordered if r.match.matches(result.header)),
+                    None,
+                )
+                if winner is None or winner.key() != rule.key():
+                    raise AssertionError(
+                        f"incremental probe for {rule!r} is processed "
+                        f"by {winner!r} instead"
+                    )
+                if not generator.catch_match.matches(result.header):
+                    raise AssertionError(
+                        f"incremental probe for {rule!r} misses the "
+                        "catching rule"
+                    )
+            return result
+        finally:
+            result.generation_time = time.perf_counter() - start
+            self.stats.generation_seconds += result.generation_time

@@ -12,6 +12,7 @@ they never touch the wiring themselves.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Hashable, Mapping
 
 import networkx as nx
@@ -19,6 +20,7 @@ import networkx as nx
 from repro.controller import ConfirmMode, SdnController
 from repro.core.catching import CatchingPlan, ColoringAlgorithm, plan_catching_rules
 from repro.core.monitor import Monitor, MonitorConfig
+from repro.core.probegen import ProbeGenContextStats
 from repro.core.multiplexer import MonocleSystem
 from repro.network.network import Network
 from repro.openflow.messages import Message
@@ -143,6 +145,28 @@ class FleetDeployment:
     def total_alarms(self):
         """All alarms across the fleet, time-ordered."""
         return self.system.total_alarms()
+
+    def probegen_stats(self) -> ProbeGenContextStats:
+        """Fleet-wide aggregate of the incremental probe-gen counters.
+
+        Sums every Monitor's :class:`~repro.core.probegen.
+        ProbeGenContextStats`; the ratio of ``cache_hits`` +
+        ``revalidations`` to ``probes_generated`` is the work the delta
+        API saved over from-scratch generation.
+        """
+        total = ProbeGenContextStats()
+        for node in self.nodes:
+            stats = self.monitor(node).probe_context.stats
+            # Field-driven so counters added to the dataclass can never
+            # be silently dropped from the aggregate.
+            for stat_field in dataclasses.fields(ProbeGenContextStats):
+                setattr(
+                    total,
+                    stat_field.name,
+                    getattr(total, stat_field.name)
+                    + getattr(stats, stat_field.name),
+                )
+        return total
 
     def __repr__(self) -> str:
         return (

@@ -36,6 +36,12 @@ class SwitchMetrics:
     packetouts_processed: int
     packetins_sent: int
     flowmods_processed: int
+    #: Incremental probe-generation engine counters: SAT solves actually
+    #: run vs probes served from cache / cheap revalidation.
+    probes_generated: int = 0
+    probe_cache_hits: int = 0
+    probe_revalidations: int = 0
+    probegen_seconds: float = 0.0
 
     def probe_rate(self, duration: float) -> float:
         """Achieved probes/s over the scenario."""
@@ -102,6 +108,23 @@ class FleetMetrics:
         return sum(m.packetins_sent for m in self.per_switch)
 
     @property
+    def probes_generated(self) -> int:
+        """Incremental SAT solves across the fleet."""
+        return sum(m.probes_generated for m in self.per_switch)
+
+    @property
+    def probe_cache_hits(self) -> int:
+        return sum(m.probe_cache_hits for m in self.per_switch)
+
+    @property
+    def probe_revalidations(self) -> int:
+        return sum(m.probe_revalidations for m in self.per_switch)
+
+    @property
+    def probegen_seconds(self) -> float:
+        return sum(m.probegen_seconds for m in self.per_switch)
+
+    @property
     def all_detected(self) -> bool:
         """Every injected failure produced an attributable alarm."""
         return all(d.detected for d in self.detections)
@@ -126,6 +149,7 @@ def collect_fleet_metrics(
     for node in deployment.nodes:
         monitor = deployment.monitor(node)
         stats = deployment.switch(node).stats
+        genstats = monitor.probe_context.stats
         per_switch.append(
             SwitchMetrics(
                 node=node,
@@ -137,6 +161,10 @@ def collect_fleet_metrics(
                 packetouts_processed=stats.packetouts_processed,
                 packetins_sent=stats.packetins_sent,
                 flowmods_processed=stats.flowmods_processed,
+                probes_generated=genstats.probes_generated,
+                probe_cache_hits=genstats.cache_hits,
+                probe_revalidations=genstats.revalidations,
+                probegen_seconds=genstats.generation_seconds,
             )
         )
 

@@ -74,6 +74,21 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
         f"overhead: {metrics.packetout_total} PacketOuts, "
         f"{metrics.packetin_total} PacketIns across the fleet"
     )
+    served = (
+        metrics.probes_generated
+        + metrics.probe_cache_hits
+        + metrics.probe_revalidations
+    )
+    if served:
+        # No wall-clock numbers here: reports must be byte-identical
+        # across runs of the same seed (determinism checks diff them).
+        lines.append(
+            f"probe generation: {metrics.probes_generated} incremental "
+            f"SAT solves, {metrics.probe_cache_hits} cache hits, "
+            f"{metrics.probe_revalidations} revalidations "
+            f"({100.0 * (served - metrics.probes_generated) / served:.0f}% "
+            "served without a solve)"
+        )
     if metrics.updates_confirmed or metrics.updates_given_up:
         lines.append(
             f"updates: {metrics.updates_confirmed} confirmed, "

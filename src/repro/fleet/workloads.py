@@ -102,6 +102,12 @@ class RuleChurn(Workload):
         start/stop: churn window on the sim clock (``stop=None`` runs
             for the entire scenario).
         mix: relative weights of (add, modify, delete).
+        recycle: reuse the destination addresses of deleted rules for
+            later adds (per switch).  Real controllers churn a bounded
+            rule population rather than an ever-growing address space;
+            recycling also drives the incremental probe engine's
+            match-guard cache (a re-added match re-uses its persistent
+            SAT encoding instead of paying for a fresh one).
     """
 
     rate: float = 50.0
@@ -109,6 +115,7 @@ class RuleChurn(Workload):
     stop: float | None = None
     mix: tuple[float, float, float] = (0.6, 0.25, 0.15)
     priority: int = 200
+    recycle: bool = True
     name = "churn"
     records: list[ChurnRecord] = field(default_factory=list)
 
@@ -128,6 +135,10 @@ class RuleChurn(Workload):
         #: Live churn rules per node: match -> out port.
         self._live: dict[Hashable, dict[Match, int]] = {
             node: {} for node in deployment.nodes
+        }
+        #: Matches freed by deletes, reused by later adds (see recycle).
+        self._free: dict[Hashable, list[Match]] = {
+            node: [] for node in deployment.nodes
         }
         deployment.sim.at(self.start, self._tick)
 
@@ -155,8 +166,11 @@ class RuleChurn(Workload):
 
     def _build_add(self, node: Hashable) -> tuple[Match, FlowMod]:
         ports = self._ports[node]
-        match = Match.build(nw_dst=self._next_dst)
-        self._next_dst += 1
+        if self.recycle and self._free[node]:
+            match = self._free[node].pop()
+        else:
+            match = Match.build(nw_dst=self._next_dst)
+            self._next_dst += 1
         port = self._rng.choose(ports)
         self._live[node][match] = port
         return match, FlowMod(
@@ -182,6 +196,7 @@ class RuleChurn(Workload):
     def _build_delete(self, node: Hashable) -> tuple[Match, FlowMod]:
         match = self._rng.choose(sorted(self._live[node], key=repr))
         del self._live[node][match]
+        self._free[node].append(match)
         return match, FlowMod(
             command=FlowModCommand.DELETE_STRICT,
             match=match,

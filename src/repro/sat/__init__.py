@@ -14,13 +14,17 @@ pure-Python equivalent:
   and the quadratic Velev if-then-else chain encoding from Appendix B.
 * :mod:`repro.sat.solver` — a CDCL solver with two-watched-literal
   propagation, first-UIP clause learning, VSIDS-style activity and
-  restarts (the PicoSAT stand-in).
+  restarts (the PicoSAT stand-in), usable one-shot or incrementally.
+* :mod:`repro.sat.incremental` — the persistent solver context:
+  assumption-based solving, clause groups with retraction, learned
+  lemma retention across calls, and database compaction.
 * :mod:`repro.sat.brute` — exhaustive reference solver used by the test
   suite to validate the CDCL implementation on small instances.
 """
 
 from repro.sat.cnf import CNF, Lit
 from repro.sat.encode import (
+    assert_ite_chain,
     at_most_one,
     clause_and,
     clause_or,
@@ -29,11 +33,13 @@ from repro.sat.encode import (
     negate_conjunction,
 )
 from repro.sat.solver import SatResult, SatSolver, solve
+from repro.sat.incremental import IncrementalSolver, IncrementalStats
 from repro.sat.brute import brute_force_solve
 
 __all__ = [
     "CNF",
     "Lit",
+    "assert_ite_chain",
     "at_most_one",
     "clause_and",
     "clause_or",
@@ -43,5 +49,7 @@ __all__ = [
     "SatResult",
     "SatSolver",
     "solve",
+    "IncrementalSolver",
+    "IncrementalStats",
     "brute_force_solve",
 ]

@@ -123,6 +123,50 @@ def ite_chain(
     return s
 
 
+def assert_ite_chain(
+    cnf: CNF,
+    branches: Sequence[tuple[Lit, "bool | Lit"]],
+    else_value: "bool | Lit",
+) -> None:
+    """Assert ``If(g1,v1, If(g2,v2, ..., else)) = true`` in linear size.
+
+    ``branches`` is a list of ``(guard_lit, value)`` pairs in priority
+    order; values may be constants (``True``/``False``) or literals.
+
+    Unlike the quadratic constructions (:func:`ite_chain`, and the
+    clause-per-branch prefix expansion it replaced), this uses one fresh
+    *prefix* variable per branch: ``q_k`` is forced true exactly when
+    guards ``1..k`` are all false (one-sided Plaisted–Greenbaum
+    direction, sufficient because the chain is only asserted, never
+    negated), giving 2 clauses of <= 3 literals per branch:
+
+        q_{k-1} & g_k  -> v_k        (the branch fires)
+        q_{k-1} & !g_k -> q_k        (the prefix stays all-false)
+        q_n -> else                  (no guard fired)
+
+    ``cnf`` only needs ``new_var``/``add_clause``, so incremental
+    solver adapters work as well as a plain :class:`CNF`.
+    """
+    prev_q: Lit | None = None  # None encodes the constant-true prefix
+    for guard, value in branches:
+        if value is not True:
+            clause: list[Lit] = [] if prev_q is None else [-prev_q]
+            clause.append(-guard)
+            if value is not False:
+                clause.append(value)
+            cnf.add_clause(clause)
+        q = cnf.new_var()
+        clause = [] if prev_q is None else [-prev_q]
+        clause.extend((guard, q))
+        cnf.add_clause(clause)
+        prev_q = q
+    if else_value is not True:
+        clause = [] if prev_q is None else [-prev_q]
+        if else_value is not False:
+            clause.append(else_value)
+        cnf.add_clause(clause)
+
+
 def xor_lit(cnf: CNF, a: Lit, b: Lit) -> Lit:
     """Fresh literal ``s`` with ``s <-> (a XOR b)``."""
     s = cnf.new_var()

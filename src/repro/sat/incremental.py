@@ -1,0 +1,236 @@
+"""Persistent SAT context: assumptions, clause groups, retraction.
+
+The probe-generation hot path re-solves closely related formulas every
+time a switch's flow table churns.  :class:`IncrementalSolver` wraps the
+CDCL core (:class:`~repro.sat.solver.SatSolver`) with the three
+facilities that make those solves share work:
+
+* **assumption-based solving** — per-call literals that vanish after the
+  call, leaving learned clauses behind (the core supports this natively;
+  the wrapper only bookkeeps);
+* **clause groups** — clauses tagged with a fresh *selector* variable
+  ``s`` are stored as ``(c | -s)`` and only bind while ``s`` is assumed,
+  so a caller activates a group by passing its selector as an
+  assumption;
+* **retraction** — retiring a group permanently asserts ``-s``, which
+  satisfies (and thereby disables) every clause of the group, including
+  any lemmas learned from them (they all carry ``-s``).  Selector
+  variables are never reused.
+
+Retired groups leave dead-but-satisfied clauses in the database; when
+their number exceeds both an absolute floor and a multiple of the live
+clause count, the wrapper rebuilds the core solver from the live clause
+store (**compaction**), dropping dead clauses and learned lemmas.
+
+The wrapper is formula-agnostic; probe-specific encoding lives in
+:mod:`repro.core.constraints`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sat.cnf import CNF, Lit
+from repro.sat.solver import SatResult, SatSolver
+
+
+@dataclass
+class IncrementalStats:
+    """Cumulative counters over the context's lifetime."""
+
+    solves: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+    groups_created: int = 0
+    groups_retired: int = 0
+    compactions: int = 0
+
+
+class IncrementalSolver:
+    """A reusable SAT solver with clause groups and retraction.
+
+    Args:
+        num_vars: variables pre-allocated at construction (callers use
+            ``1..num_vars`` directly; :meth:`new_var` allocates above).
+        compaction_floor: never compact below this many dead clauses.
+        compaction_ratio: compact when dead clauses exceed this multiple
+            of the live clause count.
+    """
+
+    def __init__(
+        self,
+        num_vars: int = 0,
+        compaction_floor: int = 2000,
+        compaction_ratio: float = 1.0,
+    ) -> None:
+        self._num_vars = num_vars
+        self.compaction_floor = compaction_floor
+        self.compaction_ratio = compaction_ratio
+        self._solver = SatSolver(CNF(num_vars), check_models=False)
+        #: Permanent clauses (group None) for compaction rebuilds.
+        self._permanent: list[list[Lit]] = []
+        #: Live groups: selector -> clauses as stored (selector included).
+        self._groups: dict[int, list[list[Lit]]] = {}
+        #: Variables allocated on behalf of a live group (Tseitin
+        #: auxiliaries of its transient clauses).
+        self._group_vars: dict[int, list[int]] = {}
+        #: Recycled variables.  A retired group's clauses — and every
+        #: lemma learned from them, which necessarily carries the
+        #: group's negated selector — are permanently satisfied, so the
+        #: group's auxiliary variables end up mentioned only by
+        #: satisfied clauses: they are unconstrained and safe to hand
+        #: out again.  Recycling keeps the variable space (and with it
+        #: per-solve assignment/propagation cost) bounded by the *live*
+        #: formula instead of growing with every probe ever solved.
+        self._free_vars: list[int] = []
+        self._dead_clauses = 0
+        self.stats = IncrementalStats()
+
+    # ----- variables ----------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Live clauses (permanent + grouped), excluding learned lemmas."""
+        return len(self._permanent) + sum(
+            len(clauses) for clauses in self._groups.values()
+        )
+
+    @property
+    def num_dead_clauses(self) -> int:
+        """Clauses still in the core solver but disabled by retirement."""
+        return self._dead_clauses
+
+    def new_var(self, group: int | None = None) -> int:
+        """Allocate an unconstrained variable.
+
+        With ``group`` set, the variable is tied to that clause group
+        and returns to the recycling pool when the group is retired.
+        Recycled variables are preferred over growing the space.
+        """
+        if self._free_vars:
+            var = self._free_vars.pop()
+        else:
+            self._num_vars += 1
+            self._solver.ensure_num_vars(self._num_vars)
+            var = self._num_vars
+        if group is not None:
+            self._group_vars[group].append(var)
+        return var
+
+    def new_vars(self, count: int, group: int | None = None) -> list[int]:
+        """Allocate ``count`` unconstrained variables."""
+        return [self.new_var(group) for _ in range(count)]
+
+    # ----- clauses and groups -------------------------------------------
+
+    def add_clause(
+        self, literals: Iterable[Lit], group: int | None = None
+    ) -> None:
+        """Add a clause, optionally tagged with a group selector.
+
+        Grouped clauses only bind while the selector is passed as an
+        assumption to :meth:`solve`; permanent clauses always bind.
+        """
+        lits = list(literals)
+        if group is None:
+            self._permanent.append(lits)
+            self._solver.add_clause(lits)
+            return
+        clauses = self._groups.get(group)
+        if clauses is None:
+            raise ValueError(f"unknown or retired group {group}")
+        stored = lits + [-group]
+        clauses.append(stored)
+        self._solver.add_clause(stored)
+
+    def add_unit(self, lit: Lit, group: int | None = None) -> None:
+        """Add a unit clause (grouped units become binary selectors)."""
+        self.add_clause((lit,), group=group)
+
+    def new_group(self) -> int:
+        """Create a clause group; returns its selector variable.
+
+        Activate the group by passing the selector as an assumption.
+        Selectors never come from the recycling pool: retirement pins
+        them false forever, so they are constrained, not free.
+        """
+        self._num_vars += 1
+        self._solver.ensure_num_vars(self._num_vars)
+        selector = self._num_vars
+        self._groups[selector] = []
+        self._group_vars[selector] = []
+        self.stats.groups_created += 1
+        return selector
+
+    def retire_group(self, selector: int) -> None:
+        """Permanently retract a group's clauses.
+
+        Asserts ``-selector`` so every clause of the group (and every
+        lemma learned from them) is satisfied and can never bind again;
+        the group's auxiliary variables join the recycling pool.
+        """
+        clauses = self._groups.pop(selector, None)
+        if clauses is None:
+            return  # already retired; idempotent
+        self._solver.add_clause((-selector,))
+        self._free_vars.extend(self._group_vars.pop(selector, ()))
+        self._dead_clauses += len(clauses)
+        self.stats.groups_retired += 1
+        self._maybe_compact()
+
+    # ----- solving --------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[Lit] = (),
+        max_conflicts: int | None = None,
+    ) -> SatResult:
+        """Solve under per-call assumptions (group selectors included)."""
+        result = self._solver.solve(
+            assumptions=assumptions, max_conflicts=max_conflicts
+        )
+        self.stats.solves += 1
+        self.stats.conflicts += result.conflicts
+        self.stats.propagations += result.propagations
+        self.stats.learned_clauses += result.learned_clauses
+        return result
+
+    # ----- compaction -----------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self._dead_clauses < self.compaction_floor:
+            return
+        if self._dead_clauses < self.compaction_ratio * max(
+            1, self.num_clauses
+        ):
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the core solver from live clauses only.
+
+        Drops dead (retired) clauses and all learned lemmas; variable
+        numbering is preserved so cached literals stay valid.
+        """
+        solver = SatSolver(CNF(self._num_vars), check_models=False)
+        for clause in self._permanent:
+            solver.add_clause(clause)
+        for clauses in self._groups.values():
+            for clause in clauses:
+                solver.add_clause(clause)
+        self._solver = solver
+        self._dead_clauses = 0
+        self.stats.compactions += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalSolver(vars={self._num_vars}, "
+            f"live={self.num_clauses}, dead={self._dead_clauses}, "
+            f"groups={len(self._groups)})"
+        )

@@ -5,20 +5,34 @@ Implements the standard conflict-driven clause learning loop:
 * two-watched-literal unit propagation,
 * first-UIP conflict analysis with clause learning,
 * non-chronological backjumping,
-* VSIDS-style exponential variable activity with decay,
+* VSIDS-style exponential variable activity with decay (served from a
+  lazy max-heap so branching stays cheap on large variable spaces),
 * Luby-sequence restarts,
 * phase saving.
 
 The solver is deliberately self-contained (lists of ints, no numpy) so
 its behaviour is easy to audit and to cross-check against the
 brute-force reference in :mod:`repro.sat.brute`.
+
+Beyond the one-shot `solve(cnf)` entry point, the solver supports
+*incremental* use — the substrate of the per-switch probe-generation
+context (:mod:`repro.sat.incremental`):
+
+* clauses may be added between `solve` calls (:meth:`add_clause`),
+* assumptions are asserted as their own decision levels (the MiniSat
+  discipline), so every learned clause is implied by the clause
+  database alone and can safely be kept across calls,
+* the trail is rewound to level 0 after every call, leaving only
+  formula-implied assignments behind.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
-from repro.sat.cnf import CNF
+from repro.sat.cnf import CNF, Lit
 
 
 @dataclass
@@ -53,7 +67,12 @@ def _luby(i: int) -> int:
 
 
 class SatSolver:
-    """CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+    """CDCL solver over a :class:`~repro.sat.cnf.CNF` formula.
+
+    The constructor loads the formula; further clauses may be appended
+    with :meth:`add_clause` and variables allocated with
+    :meth:`new_var` between `solve` calls.
+    """
 
     _UNASSIGNED = 0
     _TRUE = 1
@@ -65,54 +84,55 @@ class SatSolver:
         enable_learning: bool = True,
         enable_vsids: bool = True,
         restart_base: int = 64,
+        check_models: bool = True,
     ) -> None:
         self.enable_learning = enable_learning
         self.enable_vsids = enable_vsids
         self.restart_base = restart_base
+        #: Run the O(database) defensive model check on every SAT
+        #: answer.  Incremental callers whose results are verified
+        #: independently (probe generation re-simulates Table 1 on the
+        #: decoded model) disable it: on a persistent clause database
+        #: the scan costs more than the solve it double-checks.
+        self.check_models = check_models
 
-        self.num_vars = cnf.num_vars
-        # Clause database: list of literal lists.  Index < original count
-        # means an original clause; beyond that, learned.
+        self.num_vars = 0
+        # Clause database: list of literal lists.  Original clauses and
+        # learned clauses share it; learned ones are appended.
         self.clauses: list[list[int]] = []
         self._contradiction = False
+        #: Unit clauses not yet asserted on the trail (consumed by solve).
         self._pending_units: list[int] = []
-        for clause in cnf.clauses():
-            unique = self._simplify_clause(clause)
-            if unique is None:
-                continue  # tautology
-            if not unique:
-                self._contradiction = True
-            elif len(unique) == 1:
-                self._pending_units.append(unique[0])
-            else:
-                self.clauses.append(unique)
+        #: All unit clauses ever added (for the defensive model check).
+        self._units: list[int] = []
 
-        # Assignment state.
-        size = self.num_vars + 1
-        self.values = [self._UNASSIGNED] * size
-        self.levels = [0] * size
-        self.reasons: list[list[int] | None] = [None] * size
+        # Assignment state (index 0 unused).
+        self.values: list[int] = [self._UNASSIGNED]
+        self.levels: list[int] = [0]
+        self.reasons: list[list[int] | None] = [None]
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
-        self.phase = [False] * size
+        self.phase: list[bool] = [False]
 
         # Watched literals: watch lit -> clause indices.
         self.watches: dict[int, list[int]] = {}
-        for idx, clause in enumerate(self.clauses):
-            self._watch(clause[0], idx)
-            self._watch(clause[1], idx)
 
-        # VSIDS activity.
-        self.activity = [0.0] * size
+        # VSIDS activity, served by a lazy max-heap of (-act, var).
+        self.activity: list[float] = [0.0]
         self.act_inc = 1.0
         self.act_decay = 0.95
+        self._heap: list[tuple[float, int]] = []
 
         self.stats = SatResult(satisfiable=None)
+
+        self.ensure_num_vars(cnf.num_vars)
+        for clause in cnf.clauses():
+            self.add_clause(clause)
 
     # ----- setup helpers -------------------------------------------------
 
     @staticmethod
-    def _simplify_clause(clause: list[int]) -> list[int] | None:
+    def _simplify_clause(clause: Sequence[int]) -> list[int] | None:
         """Drop duplicate literals; return None for tautologies."""
         seen: set[int] = set()
         out: list[int] = []
@@ -126,6 +146,62 @@ class SatSolver:
 
     def _watch(self, lit: int, clause_idx: int) -> None:
         self.watches.setdefault(lit, []).append(clause_idx)
+
+    # ----- incremental interface ----------------------------------------
+
+    def ensure_num_vars(self, count: int) -> None:
+        """Grow the variable space to at least ``count`` variables."""
+        while self.num_vars < count:
+            self.num_vars += 1
+            self.values.append(self._UNASSIGNED)
+            self.levels.append(0)
+            self.reasons.append(None)
+            self.phase.append(False)
+            self.activity.append(0.0)
+            heapq.heappush(self._heap, (0.0, self.num_vars))
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self.ensure_num_vars(self.num_vars + 1)
+        return self.num_vars
+
+    def add_clause(self, clause: Iterable[Lit]) -> None:
+        """Append one clause to the database.
+
+        Legal at any time between `solve` calls (the solver is always at
+        decision level 0 then).  Tautologies are dropped; an empty
+        clause makes the formula permanently unsatisfiable.
+
+        The clause is evaluated against the permanent level-0 trail
+        left behind by earlier `solve` calls: literals already false
+        there can never help and are removed, a literal already true
+        makes the clause redundant.  Without this, a clause whose two
+        watched literals were falsified in a *previous* call would
+        never fire a watch event — `solve` does not re-propagate the
+        old trail — and the solver would silently ignore it.
+        """
+        unique = self._simplify_clause(list(clause))
+        if unique is None:
+            return  # tautology
+        for lit in unique:
+            self.ensure_num_vars(abs(lit))
+        live: list[int] = []
+        for lit in unique:
+            value = self._lit_value(lit)
+            if value == self._TRUE:
+                return  # satisfied by a formula-implied fact
+            if value == self._UNASSIGNED:
+                live.append(lit)
+        if not live:
+            self._contradiction = True
+        elif len(live) == 1:
+            self._units.append(live[0])
+            self._pending_units.append(live[0])
+        else:
+            self.clauses.append(live)
+            idx = len(self.clauses) - 1
+            self._watch(live[0], idx)
+            self._watch(live[1], idx)
 
     # ----- assignment ------------------------------------------------------
 
@@ -198,7 +274,10 @@ class SatSolver:
         """First-UIP analysis.
 
         Returns (learned_clause, backjump_level) with the asserting
-        literal first in the learned clause.
+        literal first in the learned clause.  Because assumptions are
+        decisions, the learned clause is always a resolvent of database
+        clauses — implied by the formula alone — so keeping it across
+        `solve` calls with different assumptions is sound.
         """
         level = self._decision_level()
         seen = [False] * (self.num_vars + 1)
@@ -247,11 +326,23 @@ class SatSolver:
     def _bump(self, var: int) -> None:
         if not self.enable_vsids:
             return
-        self.activity[var] += self.act_inc
-        if self.activity[var] > 1e100:
+        act = self.activity[var] + self.act_inc
+        self.activity[var] = act
+        if act > 1e100:
             for v in range(1, self.num_vars + 1):
                 self.activity[v] *= 1e-100
             self.act_inc *= 1e-100
+            self._rebuild_heap()
+        else:
+            heapq.heappush(self._heap, (-act, var))
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self.activity[v], v)
+            for v in range(1, self.num_vars + 1)
+            if self.values[v] == self._UNASSIGNED
+        ]
+        heapq.heapify(self._heap)
 
     def _decay(self) -> None:
         if self.enable_vsids:
@@ -265,58 +356,66 @@ class SatSolver:
                 var = abs(lit)
                 self.values[var] = self._UNASSIGNED
                 self.reasons[var] = None
+                if self.enable_vsids:
+                    heapq.heappush(self._heap, (-self.activity[var], var))
 
     # ----- branching -----------------------------------------------------
 
     def _pick_branch(self) -> int:
-        best_var = 0
-        best_act = -1.0
+        if self.enable_vsids:
+            while self._heap:
+                neg_act, var = heapq.heappop(self._heap)
+                if self.values[var] != self._UNASSIGNED:
+                    continue
+                if -neg_act != self.activity[var]:
+                    continue  # stale entry; a fresher one exists
+                return var if self.phase[var] else -var
+        # No-VSIDS path (and defensive fallback): first unassigned var.
         for var in range(1, self.num_vars + 1):
             if self.values[var] == self._UNASSIGNED:
-                if not self.enable_vsids:
-                    best_var = var
-                    break
-                if self.activity[var] > best_act:
-                    best_act = self.activity[var]
-                    best_var = var
-        if best_var == 0:
-            return 0
-        return best_var if self.phase[best_var] else -best_var
+                return var if self.phase[var] else -var
+        return 0
 
     # ----- main loop -------------------------------------------------------
 
     def solve(
         self,
-        assumptions: list[int] = (),
+        assumptions: Sequence[int] = (),
         max_conflicts: int | None = None,
     ) -> SatResult:
         """Run the CDCL loop.
 
         Args:
-            assumptions: literals asserted at level 0 for this call.
+            assumptions: literals asserted for this call only.  Each is
+                given its own decision level (the MiniSat discipline) so
+                learned clauses remain valid when the assumptions change
+                on the next call.
             max_conflicts: optional conflict budget; exceeding it returns
                 ``satisfiable=None``.
+
+        The solver backtracks to decision level 0 before returning, so
+        it can be reused: clauses added and lemmas learned in earlier
+        calls are retained; assumption effects are not.
         """
+        self.stats = SatResult(satisfiable=None)
+        assumption_list = [lit for lit in assumptions]
         if self._contradiction:
             self.stats.satisfiable = False
             return self.stats
+        self._backjump(0)
 
-        for lit in self._pending_units:
+        # Flush unit clauses at level 0 (their effects are permanent).
+        queue_start = len(self.trail)
+        pending, self._pending_units = self._pending_units, []
+        for lit in pending:
             value = self._lit_value(lit)
             if value == self._FALSE:
-                self.stats.satisfiable = False
-                return self.stats
-            if value == self._UNASSIGNED:
-                self._assign(lit, None)
-        for lit in assumptions:
-            value = self._lit_value(lit)
-            if value == self._FALSE:
+                self._contradiction = True
                 self.stats.satisfiable = False
                 return self.stats
             if value == self._UNASSIGNED:
                 self._assign(lit, None)
 
-        queue_start = 0
         restarts = 0
         conflicts_until_restart = self.restart_base * _luby(1)
 
@@ -326,6 +425,8 @@ class SatSolver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 if self._decision_level() == 0:
+                    # Conflict among formula-implied facts: permanent.
+                    self._contradiction = True
                     self.stats.satisfiable = False
                     return self.stats
                 if (
@@ -333,12 +434,21 @@ class SatSolver:
                     and self.stats.conflicts > max_conflicts
                 ):
                     self.stats.satisfiable = None
+                    self._backjump(0)
                     return self.stats
                 if self.enable_learning:
                     learned, backjump = self._analyze(conflict)
                     self._backjump(backjump)
                     if len(learned) == 1:
-                        self._assign(learned[0], None)
+                        value = self._lit_value(learned[0])
+                        if value == self._FALSE:
+                            # Unit lemma contradicts a level-0 fact.
+                            self._contradiction = True
+                            self.stats.satisfiable = False
+                            self._backjump(0)
+                            return self.stats
+                        if value == self._UNASSIGNED:
+                            self._assign(learned[0], None)
                     else:
                         self.clauses.append(learned)
                         idx = len(self.clauses) - 1
@@ -349,8 +459,11 @@ class SatSolver:
                     self._decay()
                 else:
                     # Chronological backtracking: flip the last decision.
-                    if not self.trail_lim:
+                    if self._decision_level() <= len(assumption_list):
+                        # The would-be flip target is an assumption: the
+                        # formula is UNSAT under these assumptions.
                         self.stats.satisfiable = False
+                        self._backjump(0)
                         return self.stats
                     limit = self.trail_lim[-1]
                     decision = self.trail[limit]
@@ -369,20 +482,40 @@ class SatSolver:
                     queue_start = 0
                 continue
 
+            # Assert the next assumption, one decision level each.
+            level = self._decision_level()
+            if level < len(assumption_list):
+                lit = assumption_list[level]
+                value = self._lit_value(lit)
+                if value == self._FALSE:
+                    # Incompatible with the formula or an earlier
+                    # assumption: UNSAT *under these assumptions* only.
+                    self.stats.satisfiable = False
+                    self._backjump(0)
+                    return self.stats
+                self.trail_lim.append(len(self.trail))
+                if value == self._UNASSIGNED:
+                    self._assign(lit, None)
+                    queue_start = len(self.trail) - 1
+                # Already-true assumptions get a dummy level so that
+                # assumption index == decision level stays invariant.
+                continue
+
             branch = self._pick_branch()
             if branch == 0:
                 assignment = {
                     var: self.values[var] == self._TRUE
                     for var in range(1, self.num_vars + 1)
                 }
-                self._assert_model(assignment)
+                if self.check_models:
+                    self._assert_model(assignment)
                 self.stats.satisfiable = True
                 self.stats.assignment = assignment
+                self._backjump(0)
                 return self.stats
             self.trail_lim.append(len(self.trail))
             self.stats.decisions += 1
             self._assign(branch, None)
-
 
     def _assert_model(self, assignment: dict[int, bool]) -> None:
         """Defensive final check: the returned model satisfies every
@@ -395,7 +528,7 @@ class SatSolver:
                     f"solver produced an invalid model; clause {clause} "
                     "unsatisfied"
                 )
-        for lit in self._pending_units:
+        for lit in self._units:
             if (lit > 0) != assignment[abs(lit)]:
                 raise AssertionError(
                     f"solver produced an invalid model; unit {lit} violated"

@@ -159,6 +159,29 @@ class TestRingIntegration:
         assert result.metrics.alarm_timeline == []
         assert result.metrics.probes_confirmed > 0
 
+    def test_churn_drives_the_incremental_engine(self):
+        """Fleet churn must exercise the delta API end-to-end: rules
+        added/removed through the context, probes regenerated
+        incrementally, and the steady-state cycle served from cache."""
+        churn = RuleChurn(rate=60.0)
+        result = run_scenario(
+            _ring4_spec(
+                dynamic=True, duration=2.0, failures=(), workloads=(churn,)
+            )
+        )
+        stats = result.deployment.probegen_stats()
+        assert len(churn.records) > 10
+        # Churn FlowMods flowed through ProbeGenContext.apply_flowmod.
+        assert stats.rules_added > 0
+        assert stats.invalidations > 0
+        # New/changed rules forced real incremental solves...
+        assert stats.probes_generated > 0
+        # ...while the steady-state cycle re-used cached probes.
+        assert stats.cache_hits > stats.probes_generated
+        # And the fleet metrics surface the same counters per switch.
+        assert result.metrics.probes_generated == stats.probes_generated
+        assert result.metrics.probe_cache_hits == stats.cache_hits
+
     def test_flowmod_blackhole_detected(self):
         spec = _ring4_spec(
             dynamic=True,

@@ -121,6 +121,53 @@ class TestExpectedTableTracking:
         monitor.observe_flowmod(overlapping)
         assert monitor.probe_for_rule(rules[0]) is not first
 
+    def test_probe_cache_survives_non_intersecting_flowmod(self):
+        """Regression: a FlowMod used to blow away cached probes it
+        could not possibly affect.  Invalidation must be limited to
+        cached probes whose rule match intersects the changed rule."""
+        sim, net, system, rules = star_setup(num_rules=4)
+        monitor = system.monitor("hub")
+        cached = [monitor.probe_for_rule(rule) for rule in rules]
+        generated = monitor.probe_context.stats.probes_generated
+        # Overlaps nothing: a different exact destination.
+        disjoint = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.build(nw_dst=0x0B000000),
+            priority=60,
+            actions=output(1),
+        )
+        monitor.observe_flowmod(disjoint)
+        for rule, before in zip(rules, cached):
+            assert monitor.probe_for_rule(rule) is before
+        stats = monitor.probe_context.stats
+        # The disjoint FlowMod triggered zero SAT work: the new rule's
+        # own probe aside, nothing was invalidated or regenerated.
+        assert stats.probes_generated == generated
+        assert stats.invalidations == 0
+        assert stats.cache_hits >= len(rules)
+
+    def test_intersecting_flowmod_revalidates_instead_of_resolving(self):
+        """A churned neighbour that leaves a cached probe packet usable
+        must be served by cheap revalidation, not a fresh SAT solve."""
+        sim, net, system, rules = star_setup(num_rules=2)
+        monitor = system.monitor("hub")
+        monitor.probe_for_rule(rules[0])
+        generated = monitor.probe_context.stats.probes_generated
+        # Lower-priority rule overlapping rule 0 only in match space;
+        # the existing probe header still hits rule 0 first.
+        shadowed = FlowMod(
+            command=FlowModCommand.ADD,
+            match=rules[0].match,
+            priority=5,
+            actions=output(2),
+        )
+        monitor.observe_flowmod(shadowed)
+        refreshed = monitor.probe_for_rule(rules[0])
+        stats = monitor.probe_context.stats
+        assert refreshed.ok
+        assert stats.revalidations == 1
+        assert stats.probes_generated == generated  # no new solve
+
 
 class TestSteadyState:
     def test_healthy_rules_confirmed(self):

@@ -1,0 +1,290 @@
+"""Tests for the persistent SAT context (repro.sat.incremental).
+
+Covers the three incremental facilities — assumption-based solving,
+clause groups with retraction, lemma/heuristic retention across calls —
+plus variable recycling and database compaction, cross-checked against
+the brute-force reference solver on random formulas.
+"""
+
+import random
+
+import pytest
+
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF
+from repro.sat.incremental import IncrementalSolver
+from repro.sat.solver import SatSolver
+
+
+def random_cnf(rng, num_vars, num_clauses, width=3):
+    cnf = CNF(num_vars)
+    for _ in range(num_clauses):
+        size = rng.randint(1, width)
+        variables = rng.sample(range(1, num_vars + 1), size)
+        cnf.add_clause(
+            [v if rng.random() < 0.5 else -v for v in variables]
+        )
+    return cnf
+
+
+class TestAssumptions:
+    def test_assumptions_do_not_stick(self):
+        solver = IncrementalSolver(num_vars=2)
+        solver.add_clause([1, 2])
+        assert solver.solve([-1]).satisfiable is True
+        assert solver.solve([-2]).satisfiable is True
+        # Jointly impossible, but neither call poisoned the other.
+        assert solver.solve([-1, -2]).satisfiable is False
+        assert solver.solve([]).satisfiable is True
+
+    def test_unsat_under_assumptions_is_not_permanent(self):
+        solver = IncrementalSolver(num_vars=3)
+        solver.add_clause([1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve([-1, -3]).satisfiable is False
+        result = solver.solve([])
+        assert result.satisfiable is True
+
+    def test_conflicting_assumptions(self):
+        solver = IncrementalSolver(num_vars=1)
+        assert solver.solve([1, -1]).satisfiable is False
+        assert solver.solve([1]).satisfiable is True
+
+    def test_model_respects_assumptions(self):
+        solver = IncrementalSolver(num_vars=4)
+        solver.add_clause([1, 2, 3, 4])
+        result = solver.solve([-1, -2, -3])
+        assert result.satisfiable is True
+        assert result.assignment[4] is True
+        assert result.assignment[1] is False
+
+    def test_matches_brute_force_under_random_assumptions(self):
+        rng = random.Random(20150)
+        for trial in range(40):
+            num_vars = rng.randint(3, 8)
+            cnf = random_cnf(rng, num_vars, rng.randint(2, 18))
+            solver = IncrementalSolver(num_vars=num_vars)
+            for clause in cnf.clauses():
+                solver.add_clause(clause)
+            for _ in range(4):
+                k = rng.randint(0, num_vars)
+                assumed = [
+                    v if rng.random() < 0.5 else -v
+                    for v in rng.sample(range(1, num_vars + 1), k)
+                ]
+                augmented = cnf.copy()
+                for lit in assumed:
+                    augmented.add_unit(lit)
+                expected = brute_force_solve(augmented) is not None
+                got = solver.solve(assumed).satisfiable
+                assert got == expected, (trial, assumed)
+
+
+class TestGroups:
+    def test_group_binds_only_when_assumed(self):
+        solver = IncrementalSolver(num_vars=1)
+        group = solver.new_group()
+        solver.add_clause([-1], group=group)  # x must be false, in-group
+        assert solver.solve([1]).satisfiable is True  # group inactive
+        assert solver.solve([group, 1]).satisfiable is False
+        assert solver.solve([group, -1]).satisfiable is True
+
+    def test_retired_group_never_binds_again(self):
+        solver = IncrementalSolver(num_vars=1)
+        group = solver.new_group()
+        solver.add_clause([-1], group=group)
+        solver.retire_group(group)
+        # Even assuming the dead selector cannot resurrect the clause:
+        # its unit -selector contradicts the assumption, nothing more.
+        assert solver.solve([1]).satisfiable is True
+        assert solver.solve([group]).satisfiable is False  # selector pinned
+
+    def test_add_to_retired_group_rejected(self):
+        solver = IncrementalSolver()
+        group = solver.new_group()
+        solver.retire_group(group)
+        with pytest.raises(ValueError):
+            solver.add_clause([1], group=group)
+        solver.retire_group(group)  # idempotent
+
+    def test_lemmas_from_retired_groups_do_not_leak(self):
+        # A sequence of contradictory transient groups must not corrupt
+        # the base formula: after each retirement the base stays SAT.
+        solver = IncrementalSolver(num_vars=3)
+        solver.add_clause([1, 2])
+        for _ in range(10):
+            group = solver.new_group()
+            solver.add_clause([-1], group=group)
+            solver.add_clause([-2], group=group)
+            solver.add_clause([3], group=group)
+            solver.add_clause([-3], group=group)  # group is self-contradictory
+            assert solver.solve([group]).satisfiable is False
+            solver.retire_group(group)
+            assert solver.solve([]).satisfiable is True
+
+    def test_random_group_churn_matches_brute_force(self):
+        rng = random.Random(77)
+        base_vars = 6
+        base = random_cnf(rng, base_vars, 6)
+        solver = IncrementalSolver(num_vars=base_vars)
+        for clause in base.clauses():
+            solver.add_clause(clause)
+        for trial in range(30):
+            extra = random_cnf(rng, base_vars, rng.randint(1, 6))
+            group = solver.new_group()
+            for clause in extra.clauses():
+                solver.add_clause(clause, group=group)
+            combined = base.copy()
+            combined.extend(extra.clauses())
+            expected = brute_force_solve(combined) is not None
+            assert solver.solve([group]).satisfiable == expected, trial
+            solver.retire_group(group)
+            assert (
+                solver.solve([]).satisfiable
+                == (brute_force_solve(base) is not None)
+            )
+
+
+class TestRecyclingAndCompaction:
+    def test_group_vars_are_recycled(self):
+        solver = IncrementalSolver(num_vars=2)
+        group = solver.new_group()
+        aux = solver.new_var(group)
+        solver.add_clause([1, aux], group=group)
+        before = solver.num_vars
+        solver.retire_group(group)
+        group2 = solver.new_group()  # selector: always fresh
+        reused = solver.new_var(group2)
+        assert reused == aux
+        assert solver.num_vars == before + 1  # only the new selector
+
+    def test_recycled_var_is_unconstrained(self):
+        solver = IncrementalSolver(num_vars=1)
+        group = solver.new_group()
+        aux = solver.new_var(group)
+        solver.add_clause([aux], group=group)
+        solver.add_clause([-1], group=group)
+        assert solver.solve([group, 1]).satisfiable is False
+        solver.retire_group(group)
+        # aux comes back and must be assignable either way.
+        fresh = solver.new_var()
+        assert fresh == aux
+        assert solver.solve([fresh]).satisfiable is True
+        assert solver.solve([-fresh]).satisfiable is True
+
+    def test_compaction_preserves_semantics(self):
+        rng = random.Random(11)
+        base = random_cnf(rng, 6, 10)
+        solver = IncrementalSolver(num_vars=6)
+        for clause in base.clauses():
+            solver.add_clause(clause)
+        live = solver.new_group()
+        solver.add_clause([1, 2], group=live)
+        for _ in range(5):
+            dead = solver.new_group()
+            solver.add_clause([3, 4], group=dead)
+            solver.retire_group(dead)
+        before = solver.solve([live]).satisfiable
+        solver.compact()
+        assert solver.num_dead_clauses == 0
+        assert solver.solve([live]).satisfiable == before
+        reference = base.copy()
+        reference.add_clause([1, 2])
+        assert before == (brute_force_solve(reference) is not None)
+
+    def test_auto_compaction_fires(self):
+        solver = IncrementalSolver(
+            num_vars=2, compaction_floor=10, compaction_ratio=0.5
+        )
+        solver.add_clause([1, 2])
+        for _ in range(20):
+            group = solver.new_group()
+            solver.add_clause([1], group=group)
+            solver.retire_group(group)
+        assert solver.stats.compactions >= 1
+        assert solver.solve([]).satisfiable is True
+
+
+class TestLearnedRetention:
+    def test_repeated_solves_get_cheaper(self):
+        # Pigeonhole-ish hard-ish instance solved twice: the second call
+        # must not redo the first call's conflicts from scratch.
+        rng = random.Random(5)
+        cnf = random_cnf(rng, 12, 50)
+        solver = IncrementalSolver(num_vars=12)
+        for clause in cnf.clauses():
+            solver.add_clause(clause)
+        first = solver.solve([])
+        second = solver.solve([])
+        assert second.satisfiable == first.satisfiable
+        assert second.conflicts <= first.conflicts
+
+    def test_incremental_solver_is_reusable_after_sat(self):
+        solver = IncrementalSolver(num_vars=3)
+        solver.add_clause([1, 2])
+        assert solver.solve([3]).satisfiable is True
+        solver.add_clause([-3])  # new permanent knowledge
+        assert solver.solve([3]).satisfiable is False
+        assert solver.solve([]).satisfiable is True
+
+
+class TestCoreSolverIncrementalSurface:
+    def test_clause_falsified_by_previous_level0_trail(self):
+        """Regression: a clause added after a solve call, all of whose
+        literals are already false on the permanent level-0 trail, must
+        make the formula UNSAT — not be silently ignored because its
+        watches never fire."""
+        solver = IncrementalSolver(num_vars=2)
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve([]).satisfiable is True  # pins -1, -2 at level 0
+        solver.add_clause([1, 2])
+        assert solver.solve([]).satisfiable is False
+
+    def test_clause_reduced_to_unit_by_level0_trail(self):
+        solver = IncrementalSolver(num_vars=3)
+        solver.add_clause([-1])
+        assert solver.solve([]).satisfiable is True
+        solver.add_clause([1, 3])  # reduces to unit [3]
+        result = solver.solve([])
+        assert result.satisfiable is True
+        assert result.assignment[3] is True
+        assert solver.solve([-3]).satisfiable is False
+
+    def test_clause_satisfied_by_level0_trail_is_redundant(self):
+        solver = IncrementalSolver(num_vars=2)
+        solver.add_clause([1])
+        assert solver.solve([]).satisfiable is True
+        solver.add_clause([1, 2])  # already satisfied forever
+        result = solver.solve([-2])
+        assert result.satisfiable is True
+
+    def test_compaction_keeps_model_check_disabled(self):
+        solver = IncrementalSolver(num_vars=2)
+        solver.add_clause([1, 2])
+        assert solver._solver.check_models is False
+        solver.compact()
+        assert solver._solver.check_models is False
+
+    def test_add_clause_after_solve(self):
+        solver = SatSolver(CNF(2))
+        solver.add_clause([1, 2])
+        assert solver.solve().satisfiable is True
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve().satisfiable is False
+
+    def test_permanent_contradiction_sticks(self):
+        solver = SatSolver(CNF(1))
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve().satisfiable is False
+        assert solver.solve().satisfiable is False
+
+    def test_no_learning_mode_with_assumptions(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-2, 3])
+        solver = SatSolver(cnf, enable_learning=False)
+        assert solver.solve(assumptions=[-1, -3]).satisfiable is False
+        assert solver.solve(assumptions=[-1]).satisfiable is True
