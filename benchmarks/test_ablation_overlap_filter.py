@@ -21,7 +21,9 @@ SAMPLE = 40
 
 
 def run(table, rules, overlap_filter):
-    generator = ProbeGenerator(catch_match=CATCH, overlap_filter=overlap_filter)
+    generator = ProbeGenerator(
+        catch_match=CATCH, overlap_filter=overlap_filter
+    )
     times, clauses, found = [], [], 0
     for rule in rules:
         result = generator.generate(table, rule)

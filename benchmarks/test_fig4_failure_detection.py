@@ -85,7 +85,9 @@ class SteadyStateRig:
         threshold-th distinct alarm."""
         if fail_link:
             leaf = f"leaf{self.rng.randint(0, 3)}"
-            victims = [r for r in self.rules if self.leaf_of[r.cookie] == leaf][
+            victims = [
+                r for r in self.rules if self.leaf_of[r.cookie] == leaf
+            ][
                 :102
             ]
             self.net.fail_link("hub", leaf)

@@ -27,7 +27,7 @@ from repro.sim.kernel import Simulator
 from repro.switches.profiles import HP_5406ZL, OVS, PICA8
 from repro.topology.generators import triangle
 
-from .conftest import bench_scale, bench_seed, print_header
+from .conftest import bench_seed, print_header
 
 NUM_FLOWS = 300
 FLOW_RATE = 300.0  # packets/s per flow
@@ -39,7 +39,10 @@ def run_arm(profile, use_monocle, seed):
     """Returns per-flow (upstream_updated, dataplane_ready) times."""
     sim = Simulator()
     net = Network(
-        sim, triangle(), profiles=lambda n: profile if n == "s3" else OVS, seed=seed
+        sim,
+        triangle(),
+        profiles=lambda n: profile if n == "s3" else OVS,
+        seed=seed,
     )
     net.add_host("h1", "s1")
     net.add_host("h2", "s2")
@@ -88,11 +91,19 @@ def run_arm(profile, use_monocle, seed):
         match = Match.build(dl_type=0x0800, nw_proto=17, nw_dst=0x0A000100 + i)
         install(
             "s1",
-            Rule(priority=50, match=match, actions=output(net.port_toward["s1"]["s2"])),
+            Rule(
+                priority=50,
+                match=match,
+                actions=output(net.port_toward["s1"]["s2"]),
+            ),
         )
         install(
             "s2",
-            Rule(priority=50, match=match, actions=output(net.port_toward["s2"]["h2"])),
+            Rule(
+                priority=50,
+                match=match,
+                actions=output(net.port_toward["s2"]["h2"]),
+            ),
         )
         update = ConsistentPathUpdate(
             controller=controller,
@@ -153,7 +164,9 @@ def test_figure5_consistent_update(benchmark):
                 ]
             )
 
-    print_header("Figure 5 — consistent update of 300 flows (measured vs paper)")
+    print_header(
+        "Figure 5 — consistent update of 300 flows (measured vs paper)"
+    )
     print(
         format_table(
             [

@@ -60,7 +60,9 @@ def flowmod_rate(profile, packetouts_per_two_mods: int) -> float:
         # 2 modifications: delete existing + add new (per the paper).
         match = Match.build(nw_dst=0x0A000000 + batch % 4096)
         switch.receive_message(
-            FlowMod(command=FlowModCommand.DELETE_STRICT, match=match, priority=10)
+            FlowMod(
+                command=FlowModCommand.DELETE_STRICT, match=match, priority=10
+            )
         )
         switch.receive_message(
             FlowMod(
@@ -102,11 +104,17 @@ def test_figure6_packetout_overhead(benchmark):
             row.append(f"{norm:.2f}")
         rows.append(row)
 
-    print_header("Figure 6 — normalized FlowMod rate vs PacketOut:FlowMod ratio")
+    print_header(
+        "Figure 6 — normalized FlowMod rate vs PacketOut:FlowMod ratio"
+    )
     print(format_table(["ratio"] + [p.name for p in PROFILES], rows))
 
     rate_rows = [
-        [p.name, f"{measure_max_packetout_rate(p):.0f}", f"{p.packetout_rate:.0f}"]
+        [
+            p.name,
+            f"{measure_max_packetout_rate(p):.0f}",
+            f"{p.packetout_rate:.0f}",
+        ]
         for p in PROFILES
     ]
     print("\n§8.3.1 maximum PacketOut rates (measured vs paper):")
@@ -128,7 +136,9 @@ def test_figure6_packetout_overhead(benchmark):
     # Measured §8.3.1 maxima match the paper's rates within 5%.
     for profile in PROFILES:
         measured = measure_max_packetout_rate(profile)
-        assert abs(measured - profile.packetout_rate) / profile.packetout_rate < 0.05
+        assert abs(
+            measured - profile.packetout_rate
+        ) / profile.packetout_rate < 0.05
 
     benchmark.pedantic(
         lambda: flowmod_rate(HP_5406ZL, 5), rounds=2, iterations=1

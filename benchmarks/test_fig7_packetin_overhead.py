@@ -56,7 +56,9 @@ def flowmod_rate_under_packetins(profile, packetin_rate: float) -> float:
     # A rule steering the traffic to the controller: every injected
     # packet becomes a PacketIn (up to the rate cap).
     switch.install_directly(
-        Rule(priority=1, match=Match.wildcard(), actions=output(CONTROLLER_PORT))
+        Rule(
+            priority=1, match=Match.wildcard(), actions=output(CONTROLLER_PORT)
+        )
     )
 
     last_completion = [0.0]
@@ -82,7 +84,9 @@ def flowmod_rate_under_packetins(profile, packetin_rate: float) -> float:
     for batch in range(batches):
         match = Match.build(nw_dst=0x0A000000 + batch % 4096)
         switch.receive_message(
-            FlowMod(command=FlowModCommand.DELETE_STRICT, match=match, priority=10)
+            FlowMod(
+                command=FlowModCommand.DELETE_STRICT, match=match, priority=10
+            )
         )
         switch.receive_message(
             FlowMod(

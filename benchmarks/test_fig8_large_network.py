@@ -113,7 +113,9 @@ def run_arm(use_monocle, num_paths, seed):
     # Batched arrivals: BATCH_SIZE new paths every BATCH_INTERVAL.
     for batch_start in range(0, num_paths, BATCH_SIZE):
         offset = (batch_start // BATCH_SIZE) * BATCH_INTERVAL
-        for index in range(batch_start, min(batch_start + BATCH_SIZE, num_paths)):
+        for index in range(
+            batch_start, min(batch_start + BATCH_SIZE, num_paths)
+        ):
             sim.at(offset, lambda i=index: start_path(i))
 
     sim.run_for(120.0)
@@ -141,7 +143,9 @@ def test_figure8_large_network(benchmark):
         f"Figure 8 — batched install of {num_paths} paths in a 20-switch "
         "FatTree"
     )
-    print(format_table(["arm", "median path done s", "all paths done s"], rows))
+    print(
+        format_table(["arm", "median path done s", "all paths done s"], rows)
+    )
     print(
         f"\nMonocle delay over ideal: {delta * 1000:.0f} ms "
         f"(paper: ~350 ms for 2000 paths)"

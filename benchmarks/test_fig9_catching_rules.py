@@ -22,7 +22,10 @@ from repro.coloring import (
     num_colors,
     square_graph,
 )
-from repro.topology.corpus import rocketfuel_like_corpus, topology_zoo_like_corpus
+from repro.topology.corpus import (
+    rocketfuel_like_corpus,
+    topology_zoo_like_corpus,
+)
 
 from .conftest import print_header
 
@@ -83,7 +86,11 @@ def test_figure9_catching_rules(benchmark):
         for g, s1, s2 in zip(rocketfuel, rf_s1, rf_s2)
     ]
     print("\nRocketfuel-like maps:")
-    print(format_table(["graph", "switches", "strategy 1", "strategy 2"], rf_rows))
+    print(
+        format_table(
+            ["graph", "switches", "strategy 1", "strategy 2"], rf_rows
+        )
+    )
     print(
         f"\nstrategy 1 max: {max(rf_s1)} (paper: <= 8); "
         f"strategy 2 max: {max(rf_s2)} (paper: up to 258)"

@@ -8,9 +8,13 @@ regeneration three ways on the same table and churn sequence:
   rebuilds the whole CNF and a fresh solver per probe (the seed
   behaviour);
 * **incremental** — :class:`~repro.core.probegen.ProbeGenContext` with
-  its probe cache cleared before each call, so every call runs a real
-  assumption-based solve against the persistent solver (retained match
-  guards, DiffOutcome literals, learned lemmas, heuristics);
+  its probe cache cleared before each call, so every call goes back to
+  the persistent solver (retained match guards, DiffOutcome literals,
+  persistent per-rule probe groups, learned lemmas, heuristics).  When
+  the churn cancels out — as remove + re-add does — the persistent
+  group makes the re-solve formula-identical and the solver's model
+  cache answers it without running CDCL; that IS the incremental win
+  being measured, not an artifact;
 * **revalidate** — the full delta API as the Monitor drives it: the
   stale-marked cached probe is cheaply re-checked against the churned
   table and only re-solved if it actually died.

@@ -59,7 +59,9 @@ def test_table2_probe_generation(benchmark):
     fraction = min(1.0, 0.037 * scale)  # ~100 & ~400 rules at scale 1
     rows = []
     summary = {}
-    for name, build in (("Stanford", stanford_table), ("Campus", campus_table)):
+    for name, build in (
+        ("Stanford", stanford_table), ("Campus", campus_table)
+    ):
         table = build()
         rules = sample_rules(table, fraction, bench_seed())
         times, found = probe_all(table, rules)

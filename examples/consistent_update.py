@@ -13,7 +13,11 @@ Run:  python examples/consistent_update.py
 
 from repro import MonitorConfig, MonocleSystem, Network, Rule, Simulator
 from repro.controller import ConfirmMode, ConsistentPathUpdate, SdnController
-from repro.network.traffic import FlowSpec, TrafficGenerator, decode_flow_payload
+from repro.network.traffic import (
+    FlowSpec,
+    TrafficGenerator,
+    decode_flow_payload,
+)
 from repro.openflow.actions import output
 from repro.openflow.match import Match
 from repro.switches.profiles import OVS, PICA8
@@ -26,7 +30,10 @@ RATE = 300.0
 def run(use_monocle: bool):
     sim = Simulator()
     net = Network(
-        sim, triangle(), profiles=lambda n: PICA8 if n == "s3" else OVS, seed=99
+        sim,
+        triangle(),
+        profiles=lambda n: PICA8 if n == "s3" else OVS,
+        seed=99,
     )
     h1 = net.add_host("h1", "s1")
     h2 = net.add_host("h2", "s2")
@@ -61,11 +68,19 @@ def run(use_monocle: bool):
         match = Match.build(dl_type=0x0800, nw_proto=17, nw_dst=0x0A000100 + i)
         install(
             "s1",
-            Rule(priority=50, match=match, actions=output(net.port_toward["s1"]["s2"])),
+            Rule(
+                priority=50,
+                match=match,
+                actions=output(net.port_toward["s1"]["s2"]),
+            ),
         )
         install(
             "s2",
-            Rule(priority=50, match=match, actions=output(net.port_toward["s2"]["h2"])),
+            Rule(
+                priority=50,
+                match=match,
+                actions=output(net.port_toward["s2"]["h2"]),
+            ),
         )
         spec = FlowSpec(
             flow_id=i,

@@ -73,7 +73,9 @@ def main():
     print(f"[t={sim.now:.2f}s] CORRUPTED rule nw_dst=10.0.0.7 (wrong port)")
     sim.run_for(1.5)
     first = next(
-        a for a in monitor.alarms[alarm_count:] if a.rule.cookie == victim2.cookie
+        a for a in monitor.alarms[
+            alarm_count:
+        ] if a.rule.cookie == victim2.cookie
     )
     print(f"  -> detected after {first.time - t_fail:.3f} s ({first.kind})")
 
@@ -86,9 +88,13 @@ def main():
         for r in rules
         if r.forwarding_set() == {net.port_toward["hub"]["leaf1"]}
     }
-    print(f"[t={sim.now:.2f}s] FAILED link hub<->leaf1 ({len(affected)} rules)")
+    print(
+        f"[t={sim.now:.2f}s] FAILED link hub<->leaf1 ({len(affected)} rules)"
+    )
     sim.run_for(2.5)
-    new_alarms = [a for a in monitor.alarms[alarm_count:] if a.rule.cookie in affected]
+    new_alarms = [
+        a for a in monitor.alarms[alarm_count:] if a.rule.cookie in affected
+    ]
     times = sorted(a.time - t_fail for a in new_alarms)
     detected = {a.rule.cookie for a in new_alarms}
     print(f"  -> {len(detected)}/{len(affected)} affected rules alarmed; "

@@ -24,7 +24,10 @@ def show(title, table, probed, result):
     print(f"\n=== {title} ===")
     for rule in table.rules():
         marker = " <-- probed" if rule.key() == probed.key() else ""
-        print(f"  prio={rule.priority:<3} {rule.match!r} -> {rule.actions!r}{marker}")
+        print(
+            f"  prio={rule.priority:<3} {rule.match!r} "
+            f"-> {rule.actions!r}{marker}"
+        )
     if not result.ok:
         print(f"  probe: NONE ({result.reason.value})")
         return
@@ -32,11 +35,13 @@ def show(title, table, probed, result):
     print(
         f"  probe: src={ip_to_str(header[FieldName.NW_SRC])} "
         f"dst={ip_to_str(header[FieldName.NW_DST])} "
-        f"tos={header[FieldName.NW_TOS]:#x} vlan={header[FieldName.DL_VLAN]:#x}"
+        f"tos={header[FieldName.NW_TOS]:#x} "
+        f"vlan={header[FieldName.DL_VLAN]:#x}"
     )
     print(f"  raw packet: {len(result.packet)} bytes")
     print(
-        f"  if rule present -> ports {sorted(result.outcome_present.ports())}; "
+        "  if rule present -> ports "
+        f"{sorted(result.outcome_present.ports())}; "
         f"if missing -> ports {sorted(result.outcome_absent.ports())}"
     )
     valid, why = verify_probe(table, probed, header, CATCH)
@@ -52,9 +57,13 @@ def main():
 
     # 1. Basic unicast rule over a default route.
     default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
-    probed = Rule(priority=10, match=Match.build(nw_dst=dst), actions=output(2))
+    probed = Rule(
+        priority=10, match=Match.build(nw_dst=dst), actions=output(2)
+    )
     table = FlowTable(rules=[default, probed], check_overlap=False)
-    show("Basic unicast rule", table, probed, generator.generate(table, probed))
+    show(
+        "Basic unicast rule", table, probed, generator.generate(table, probed)
+    )
 
     # 2. The paper's §3.1 example: the probed rule forwards to the SAME
     # port as the default, yet a probe exists because a middle rule
@@ -62,7 +71,9 @@ def main():
     rlowest = Rule(priority=0, match=Match.wildcard(), actions=output(1))
     rlower = Rule(priority=5, match=Match.build(nw_src=src), actions=output(2))
     rprobed = Rule(
-        priority=10, match=Match.build(nw_src=src, nw_dst=dst), actions=output(1)
+        priority=10, match=Match.build(
+            nw_src=src, nw_dst=dst
+        ), actions=output(1)
     )
     table = FlowTable(rules=[rlowest, rlower, rprobed], check_overlap=False)
     show("§3.1: distinguishing via a middle rule", table, rprobed,
@@ -71,7 +82,9 @@ def main():
     # 3. Rewrite rule: same output port as the default, but it marks
     # traffic with ToS 0x2A ("voice"): a probe with any other ToS works.
     marked = Rule(
-        priority=10, match=Match.build(nw_src=src), actions=output(1, nw_tos=0x2A)
+        priority=10, match=Match.build(
+            nw_src=src
+        ), actions=output(1, nw_tos=0x2A)
     )
     table = FlowTable(rules=[rlowest, marked], check_overlap=False)
     show("§3.2: rewrite-distinguished rule", table, marked,

@@ -54,7 +54,9 @@ class SdnController:
     ) -> None:
         self.sim = sim
         self.send = send
-        self._barrier_waiters: dict[tuple[Hashable, int], Callable[[], None]] = {}
+        self._barrier_waiters: dict[
+            tuple[Hashable, int], Callable[[], None]
+        ] = {}
         self._ack_waiters: dict[tuple[Hashable, int], Callable[[], None]] = {}
         self.flowmods_sent = 0
         self.confirmations = 0

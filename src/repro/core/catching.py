@@ -126,7 +126,9 @@ class CatchingPlan:
         rules.append(
             Rule(
                 priority=CATCH_PRIORITY,
-                match=Match.build(**{self.field2.value: self.base2 + own_color}),
+                match=Match.build(
+                    **{self.field2.value: self.base2 + own_color}
+                ),
                 actions=ActionList((Forward(CONTROLLER_PORT),)),
             )
         )
@@ -136,7 +138,9 @@ class CatchingPlan:
             rules.append(
                 Rule(
                     priority=FILTER_PRIORITY,
-                    match=Match.build(**{self.field1.value: self.base1 + color}),
+                    match=Match.build(
+                        **{self.field1.value: self.base1 + color}
+                    ),
                     actions=ActionList((Drop(),)),
                 )
             )
@@ -150,7 +154,9 @@ class CatchingPlan:
         pins ``H2`` to the downstream switch's identifier.
         """
         if self.strategy == 1:
-            return Match.build(**{self.field1.value: self.value1(probed_switch)})
+            return Match.build(
+                **{self.field1.value: self.value1(probed_switch)}
+            )
         assert self.field2 is not None
         if self.color_of[probed_switch] == self.color_of[downstream_switch]:
             raise ValueError(
@@ -193,7 +199,9 @@ def plan_catching_rules(
     graph = topology if strategy == 1 else square_graph(topology)
 
     if algorithm is ColoringAlgorithm.NONE:
-        coloring = {node: i for i, node in enumerate(sorted(topology.nodes, key=repr))}
+        coloring = {
+            node: i for i, node in enumerate(sorted(topology.nodes, key=repr))
+        }
     elif algorithm is ColoringAlgorithm.EXACT:
         coloring = exact_coloring(graph)
     elif algorithm is ColoringAlgorithm.DSATUR:
@@ -212,7 +220,9 @@ def plan_catching_rules(
             f"{colors_used} identifiers exceed {field1} capacity "
             f"starting at {base1:#x}"
         )
-    if strategy == 2 and base2 + colors_used - 1 > HEADER.field(field2).max_value:
+    if strategy == 2 and base2 + colors_used - 1 > HEADER.field(
+        field2
+    ).max_value:
         raise CapacityError(
             f"{colors_used} identifiers exceed {field2} capacity "
             f"starting at {base2:#x}"

@@ -287,7 +287,10 @@ class ConstraintCompiler:
         guards_and_values: list[tuple[list[Lit], bool | Lit]] = []
         for rule in ordered:
             guards_and_values.append(
-                (self.match_literals(rule.match), self.diff_outcome(probed, rule))
+                (
+                    self.match_literals(rule.match),
+                    self.diff_outcome(probed, rule),
+                )
             )
         else_value = self.diff_outcome(probed, miss_rule)
 
@@ -372,12 +375,13 @@ class IncrementalProbeEncoder:
     * the **catching match** and the ``in_port`` domain restriction,
       asserted permanently at construction (they apply to every probe).
 
-    Only the probed-rule-specific parts remain per-call: Hit bits and
-    negated higher-rule guards travel as *assumptions*; the Distinguish
-    chain goes into a transient clause group retired after the solve.
-    The incremental Distinguish always uses the linear asserted-chain
-    construction (the Velev ablation only applies to the from-scratch
-    compiler).
+    The probed-rule-specific parts — Hit bits, negated higher-rule
+    guards, and the Distinguish chain — go into one *persistent* clause
+    group per rule (:meth:`assert_probe_group`); a solve activates it
+    with a single selector assumption, and the group survives across
+    probes until the rule's overlap context churns.  The incremental
+    Distinguish always uses the linear asserted-chain construction (the
+    Velev ablation only applies to the from-scratch compiler).
     """
 
     def __init__(
@@ -401,6 +405,21 @@ class IncrementalProbeEncoder:
         if valid_in_ports is not None:
             self.compiler.assert_value_in(FieldName.IN_PORT, valid_in_ports)
 
+    def clone(self, solver: IncrementalSolver) -> "IncrementalProbeEncoder":
+        """A copy of this encoder bound to ``solver``.
+
+        ``solver`` must be a clone of this encoder's solver: the cached
+        guard and DiffOutcome literals are carried over verbatim, and
+        the permanent catch-match / in_port clauses already live in the
+        cloned solver, so construction-time assertion is skipped.
+        """
+        dup = IncrementalProbeEncoder.__new__(IncrementalProbeEncoder)
+        dup.solver = solver
+        dup.compiler = ConstraintCompiler(sink=SolverSink(solver))
+        dup._guards = dict(self._guards)
+        dup._diffs = dict(self._diffs)
+        return dup
+
     # ----- reusable pieces ------------------------------------------------
 
     def guard(self, match: Match) -> Lit:
@@ -415,10 +434,6 @@ class IncrementalProbeEncoder:
     def cached_guards(self) -> int:
         return len(self._guards)
 
-    def match_assumptions(self, match: Match) -> list[Lit]:
-        """Per-bit literals asserting ``Matches(P, match)`` (no clauses)."""
-        return self.compiler.match_literals(match)
-
     def diff_outcome(self, probed: Rule, other: Rule | None) -> "bool | Lit":
         """Cached ``DiffOutcome(P, probed, other)`` (bool or literal)."""
         if other is None:
@@ -432,25 +447,37 @@ class IncrementalProbeEncoder:
 
     # ----- per-probe emission ---------------------------------------------
 
-    def assert_distinguish(
+    def assert_probe_group(
         self,
         probed: Rule,
         lower_rules: Sequence[Rule],
+        higher_rules: Sequence[Rule],
         group: int,
         miss_rule: Rule | None = None,
     ) -> None:
-        """Emit the Distinguish chain into a transient clause group.
+        """Emit a rule's complete probe constraints into a clause group.
 
-        The group's selector must be assumed for the solve and retired
-        afterwards; guard and DiffOutcome literals referenced by the
-        chain are the persistent cached ones.
+        The group carries everything probe-specific — Hit unit bits,
+        the negated guards of higher-priority overlapping rules, and
+        the Distinguish chain — so a solve needs exactly *one*
+        assumption (the selector) instead of one decision level per
+        higher rule and match bit.  Guard and DiffOutcome literals
+        referenced from the group are the persistent cached ones, so
+        re-emitting a churned group only pays for the group-local
+        clauses.
         """
+        sink = SolverSink(self.solver, group)
+        # Hit: the probe matches the probed rule ...
+        for lit in self.compiler.match_literals(probed.match):
+            sink.add_unit(lit)
+        # ... and no higher-priority overlapping rule.
+        for rule in higher_rules:
+            sink.add_unit(-self.guard(rule.match))
+        # Distinguish: the priority-ordered lower-overlap ITE chain.
         ordered = sorted(lower_rules, key=lambda r: -r.priority)
         branches = [
             (self.guard(rule.match), self.diff_outcome(probed, rule))
             for rule in ordered
         ]
         else_value = self.diff_outcome(probed, miss_rule)
-        assert_ite_chain(
-            SolverSink(self.solver, group), branches, else_value
-        )
+        assert_ite_chain(sink, branches, else_value)

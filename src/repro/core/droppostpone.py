@@ -43,7 +43,9 @@ def postpone_drop_rule(
     """
     if rule.forwarding_set():
         raise ValueError(f"not a drop rule: {rule!r}")
-    actions = ActionList((SetField(tag_field, tag_value), Forward(neighbor_port)))
+    actions = ActionList(
+        (SetField(tag_field, tag_value), Forward(neighbor_port))
+    )
     return rule.with_actions(actions)
 
 

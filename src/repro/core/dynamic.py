@@ -33,7 +33,7 @@ from repro.core.monitor import (
     OutstandingProbe,
     outcome_observations,
 )
-from repro.core.probegen import ProbeResult, expected_outcomes
+from repro.core.probegen import ProbeResult
 from repro.openflow.messages import FlowMod, FlowModCommand, Message, next_xid
 from repro.openflow.rule import Rule
 from repro.openflow.table import FlowTable
@@ -248,7 +248,9 @@ class DynamicMonitor:
         for result in probes:
             if result.ok:
                 monitorable += 1
-                self._probe_until_confirmed(update, result, confirm_on="absent")
+                self._probe_until_confirmed(
+                    update, result, confirm_on="absent"
+                )
         unmonitorable = len(doomed) - monitorable
         for _ in range(unmonitorable):
             self._confirm_piece(update, monitorable=False)
@@ -366,7 +368,9 @@ class DynamicMonitor:
 
     def _drain_queue(self) -> None:
         """Release queued FlowMods that no longer overlap anything."""
-        self.pending = [u for u in self.pending if not (u.confirmed or u.gave_up)]
+        self.pending = [
+            u for u in self.pending if not (u.confirmed or u.gave_up)
+        ]
         if not self.queue:
             return
         still_queued: list[FlowMod] = []
@@ -375,7 +379,10 @@ class DynamicMonitor:
             blocked = any(
                 not u.confirmed and u.mod.match.overlaps(mod.match)
                 for u in self.pending
-            ) or any(q.match.overlaps(mod.match) for q in released + still_queued)
+            ) or any(
+                q.match.overlaps(mod.match)
+                for q in released + still_queued
+            )
             if blocked:
                 still_queued.append(mod)
             else:

@@ -28,12 +28,12 @@ from repro.core.probegen import (
     ProbeGenerator,
     ProbeResult,
     UnmonitorableReason,
-    expected_outcomes,
 )
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.fields import FieldName
 from repro.openflow.messages import FlowMod, Message, PacketIn
 from repro.openflow.rule import Rule, RuleOutcome
+from repro.openflow.table import FlowTable
 from repro.packets.craft import wire_visible_items
 from repro.packets.parse import ParseError, parse_packet
 from repro.packets.payload import ProbeMetadata
@@ -142,6 +142,7 @@ class Monitor:
         forward_down: Callable[[Message], None] | None = None,
         forward_up: Callable[[Message], None] | None = None,
         inject_probe: Callable[[bytes, int], None] | None = None,
+        probe_context=None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -155,15 +156,14 @@ class Monitor:
 
         #: The incremental probe-generation engine: persistent SAT
         #: context, per-rule probe cache with intersection-precise
-        #: invalidation and revalidation (replaces the old blunt
-        #: ``_invalidate_cache``).
-        self.probe_context = ProbeGenContext(
-            generator, validate_result=self._check_observability
-        )
-        #: Expected (control-plane view) flow table, catch rules
-        #: included.  Shared with (owned by) the probe context so delta
-        #: updates and probe generation see one table.
-        self.expected = self.probe_context.table
+        #: invalidation and revalidation.  A fleet deployment may
+        #: inject a :class:`~repro.core.shared.SharedProbeGenContext`
+        #: handle instead, deduping identical tables across switches;
+        #: observability validation stays per-switch either way.
+        if probe_context is None:
+            probe_context = ProbeGenContext(generator)
+        probe_context.validate_result = self._check_observability
+        self.probe_context = probe_context
         self.alarms: list[MonitorAlarm] = []
         self.outstanding: dict[int, OutstandingProbe] = {}
         self._cycle_keys: list[tuple] = []
@@ -177,6 +177,16 @@ class Monitor:
         self.stale_probes = 0
 
     # ----- expected-table maintenance --------------------------------------
+
+    @property
+    def expected(self) -> "FlowTable":
+        """Expected (control-plane view) flow table, catch rules included.
+
+        Owned by the probe context so delta updates and probe
+        generation see one table; resolved dynamically because a
+        shared context swaps tables when it forks (copy-on-churn).
+        """
+        return self.probe_context.table
 
     def preinstall(self, rule: Rule) -> None:
         """Record a rule installed out-of-band (catch rules, initial state)."""
@@ -465,7 +475,9 @@ class Monitor:
         if probe.on_alarm is not None:
             probe.on_alarm(probe, "missing")
 
-    def handle_caught_probe(self, msg: PacketIn, metadata: ProbeMetadata) -> None:
+    def handle_caught_probe(
+        self, msg: PacketIn, metadata: ProbeMetadata
+    ) -> None:
         """A probe of ours came back (routed here by the multiplexer).
 
         ``msg.in_port`` must already be translated to *this* switch's

@@ -23,13 +23,17 @@ from __future__ import annotations
 
 from typing import Callable, Hashable
 
-from repro.core.catching import CatchingPlan, ColoringAlgorithm, plan_catching_rules
+from repro.core.catching import (
+    CatchingPlan,
+    ColoringAlgorithm,
+    plan_catching_rules,
+)
 from repro.core.dynamic import DynamicMonitor
 from repro.core.monitor import Monitor, MonitorConfig
 from repro.core.probegen import ProbeGenerator
+from repro.core.shared import SharedContextRegistry
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.messages import Message, PacketIn, PacketOut
-from repro.openflow.fields import FieldName
 from repro.packets.parse import ParseError, parse_packet
 from repro.packets.payload import ProbeMetadata
 from repro.network.network import Network
@@ -50,7 +54,9 @@ class Multiplexer:
         """Register the Monitor responsible for a switch."""
         self.monitors[monitor.switch_number] = (node, monitor)
 
-    def inject(self, probed_node: Hashable, packet: bytes, in_port: int) -> None:
+    def inject(
+        self, probed_node: Hashable, packet: bytes, in_port: int
+    ) -> None:
         """Make ``packet`` enter ``probed_node`` on ``in_port``.
 
         Sends a PacketOut to the upstream neighbor attached to that
@@ -116,6 +122,10 @@ class MonocleSystem:
             confirmed and acknowledged (§4).
         controller_handler: ``(node, message) -> None`` receiving
             non-probe upstream traffic and UpdateAcks.
+        shared_contexts: when given, Monitors draw their probe-gen
+            contexts from this registry, deduping switches with
+            identical tables and compatible generator configs into one
+            shared solver context (copy-on-churn).
     """
 
     def __init__(
@@ -126,6 +136,7 @@ class MonocleSystem:
         dynamic: bool = True,
         controller_handler: Callable[[Hashable, Message], None] | None = None,
         use_drop_postponing: bool = False,
+        shared_contexts: "SharedContextRegistry | None" = None,
     ) -> None:
         self.network = network
         self.sim = network.sim
@@ -136,6 +147,7 @@ class MonocleSystem:
                 network.topology, strategy=1, algorithm=ColoringAlgorithm.EXACT
             )
         self.plan = plan
+        self.shared_contexts = shared_contexts
         self.multiplexer = Multiplexer(network)
         self.monitors: dict[Hashable, Monitor] = {}
         self.dynamics: dict[Hashable, DynamicMonitor] = {}
@@ -163,6 +175,14 @@ class MonocleSystem:
             valid_in_ports=tuple(switch_facing) if switch_facing else None,
         )
         observable = frozenset(switch_facing) | {CONTROLLER_PORT}
+        probe_context = None
+        if self.shared_contexts is not None:
+            # Seed the context with the catch rules so replicas compare
+            # equal at acquire time (same-color switches install
+            # identical catch sets); the Monitor then skips preinstall.
+            probe_context = self.shared_contexts.acquire(
+                generator, rules=catch_rules
+            )
         monitor = Monitor(
             sim=self.sim,
             node=node,
@@ -172,12 +192,16 @@ class MonocleSystem:
             observable_ports=observable,
             forward_down=channel.send_down,
             forward_up=lambda msg, n=node: self._to_controller(n, msg),
-            inject_probe=lambda packet, in_port, n=node: self.multiplexer.inject(
-                n, packet, in_port
+            inject_probe=(
+                lambda packet, in_port, n=node: self.multiplexer.inject(
+                    n, packet, in_port
+                )
             ),
+            probe_context=probe_context,
         )
-        for rule in catch_rules:
-            monitor.preinstall(rule)
+        if probe_context is None:
+            for rule in catch_rules:
+                monitor.preinstall(rule)
         channel.up_handler = lambda msg, n=node: self._from_switch(n, msg)
         self.monitors[node] = monitor
         self.multiplexer.register(node, monitor)

@@ -38,7 +38,11 @@ from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod
 from repro.openflow.rule import Rule, RuleOutcome
 from repro.openflow.table import FlowTable
-from repro.packets.craft import CraftError, craft_packet, normalize_abstract_header
+from repro.packets.craft import (
+    CraftError,
+    craft_packet,
+    normalize_abstract_header,
+)
 from repro.sat.incremental import IncrementalSolver
 from repro.sat.solver import SatSolver
 
@@ -287,7 +291,9 @@ def expected_outcomes(
     return present, absent
 
 
-def full_outcome(table: FlowTable, header: dict[FieldName, int]) -> RuleOutcome:
+def full_outcome(
+    table: FlowTable, header: dict[FieldName, int]
+) -> RuleOutcome:
     """Outcome of processing ``header``, keeping ECMP alternatives."""
     matched = table.lookup(header)
     if matched is None:
@@ -346,6 +352,12 @@ class ProbeGenContextStats:
     solver_conflicts: int = 0
     generation_seconds: float = 0.0
     engine_rebuilds: int = 0
+    #: Persistent Distinguish-chain bookkeeping: solves that reused the
+    #: probed rule's cached chain group vs. ones that had to (re-)emit
+    #: it, and chains retracted because their lower-overlap set churned.
+    chain_reuses: int = 0
+    chain_emits: int = 0
+    chain_retractions: int = 0
 
 
 class ProbeGenContext:
@@ -402,6 +414,14 @@ class ProbeGenContext:
             catch_match=self.generator.catch_match,
             valid_in_ports=self.generator.valid_in_ports,
         )
+        #: Persistent probe groups (Hit + higher guards + Distinguish
+        #: chain): rule key -> (clause group, signature).  A group
+        #: survives across probe_for calls and is retracted lazily,
+        #: when the signature — the rule's overlap context — actually
+        #: changes.  Insertion order doubles as LRU recency for the
+        #: retained-variable budget.
+        self._chains: dict[tuple[int, Match], tuple[int, tuple]] = {}
+        self._chain_vars = 0
 
     def _maybe_rebuild(self) -> None:
         """Bound encoder growth under non-recycled churn.
@@ -480,9 +500,12 @@ class ProbeGenContext:
         churn; a deleted rule's probe can never be asked for again
         under that key, and keeping it would grow the cache (and the
         per-change invalidation scan) with every rule ever churned.
+        The rule's persistent Distinguish chain is retired with it.
         """
         self._cache.pop(key, None)
         self._stale.discard(key)
+        if key in self._chains:
+            self._retire_chain(key)
 
     def _invalidate(self, match: Match) -> None:
         """Stale-mark cached probes whose rule intersects ``match``."""
@@ -494,9 +517,42 @@ class ProbeGenContext:
                 self.stats.invalidations += 1
 
     def clear_cache(self) -> None:
-        """Drop all cached probes (benchmark/ablation hook)."""
+        """Drop all cached probes (benchmark/ablation hook).
+
+        Persistent solver state — match guards, DiffOutcome literals,
+        Distinguish chains, learned lemmas — survives; only the probe
+        result cache is emptied, so every subsequent ``probe_for`` runs
+        a real solve against the warm context.
+        """
         self._cache.clear()
         self._stale.clear()
+
+    def fork(self) -> "ProbeGenContext":
+        """An independent copy of this context (copy-on-churn).
+
+        Clones the table, the probe cache and the entire persistent
+        solver state, so the fork continues exactly where the original
+        stands: its next solves produce the same probes an always-
+        independent context would have produced.  Used by the shared
+        fleet registry when a switch's table diverges from its
+        replicas; the original context (and its other users) are
+        unaffected.
+        """
+        dup = ProbeGenContext.__new__(ProbeGenContext)
+        dup.generator = self.generator
+        dup.table = self.table.copy()
+        dup.validate_result = self.validate_result
+        dup.rebuild_floor = self.rebuild_floor
+        dup.stats = replace(self.stats)
+        # Cached ProbeResults are immutable once stored, so sharing the
+        # objects (not the dicts) across the fork is safe.
+        dup._cache = dict(self._cache)
+        dup._stale = set(self._stale)
+        dup.solver = self.solver.clone()
+        dup.encoder = self.encoder.clone(dup.solver)
+        dup._chains = dict(self._chains)
+        dup._chain_vars = self._chain_vars
+        return dup
 
     # ----- probe generation ----------------------------------------------
 
@@ -532,7 +588,9 @@ class ProbeGenContext:
             candidates = self.table.rules()
         return [r for r in candidates if r.key() != rule.key()]
 
-    def _revalidate(self, rule: Rule, cached: ProbeResult) -> ProbeResult | None:
+    def _revalidate(
+        self, rule: Rule, cached: ProbeResult
+    ) -> ProbeResult | None:
         """Re-check a stale cached probe against the current table.
 
         A churned neighbour usually leaves an existing probe packet
@@ -570,6 +628,92 @@ class ProbeGenContext:
                 return None
         return refreshed
 
+    def _chain_signature(
+        self, rule: Rule, lower: list[Rule], higher: list[Rule]
+    ) -> tuple:
+        """Value identity of the probe constraints a solve needs.
+
+        The group's clauses are fully determined by the probed rule's
+        match (Hit bits), the higher-overlap matches in emission order
+        (negated guards), the priority-ordered lower-overlap matches
+        and the probed-vs-lower action pairs (the Distinguish chain),
+        and the miss rule.  Two solves with equal signatures can share
+        one persistent clause group; a churn event that leaves the
+        signature intact — the common case of a neighbour being removed
+        and re-added, or of churn outside the rule's overlap set —
+        costs no re-emission at all.  Higher rules' *actions* are
+        deliberately absent: they never enter the constraints.
+        """
+        miss = self.generator.miss_rule
+        miss_key = (
+            None if miss is None else (miss.priority, miss.match, miss.actions)
+        )
+        ordered = sorted(lower, key=lambda r: -r.priority)
+        return (
+            rule.match,
+            rule.actions,
+            miss_key,
+            tuple(r.match for r in higher),
+            tuple((r.priority, r.match, r.actions) for r in ordered),
+        )
+
+    def _chain_budget(self) -> int:
+        """Retained-variable budget for persistent probe groups.
+
+        Keeping every probed rule's group alive forever would make each
+        solve assign O(sum of all chain sizes) variables (a CDCL model
+        assigns everything); bounding retention by a multiple of the
+        table size keeps the per-solve cost proportional to the live
+        formula while still holding the entire working set of any
+        realistic probing cycle.
+        """
+        return max(4096, 8 * (len(self.table) + 1))
+
+    def _chain_group(
+        self, rule: Rule, lower: list[Rule], higher: list[Rule]
+    ) -> int:
+        """The persistent clause group holding ``rule``'s constraints.
+
+        Reuses the cached group when the signature still matches;
+        otherwise retires the stale group (this is the *only* place a
+        live group is retracted for content reasons) and emits a fresh
+        one.  Least-recently-probed groups are evicted when retained
+        auxiliary variables exceed the budget.
+        """
+        key = rule.key()
+        signature = self._chain_signature(rule, lower, higher)
+        cached = self._chains.get(key)
+        if cached is not None and cached[1] == signature:
+            self._chains[key] = self._chains.pop(key)  # refresh recency
+            self.stats.chain_reuses += 1
+            return cached[0]
+        if cached is not None:
+            self._retire_chain(key)
+        group = self.solver.new_group()
+        try:
+            self.encoder.assert_probe_group(
+                rule, lower, higher, group, miss_rule=self.generator.miss_rule
+            )
+        except BaseException:
+            self.solver.retire_group(group)
+            raise
+        self._chains[key] = (group, signature)
+        self._chain_vars += self.solver.group_size(group)
+        self.stats.chain_emits += 1
+        budget = self._chain_budget()
+        while self._chain_vars > budget and len(self._chains) > 1:
+            oldest = next(iter(self._chains))
+            if oldest == key:
+                break  # never evict the group we are about to solve
+            self._retire_chain(oldest)
+        return group
+
+    def _retire_chain(self, key: tuple[int, Match]) -> None:
+        group, _signature = self._chains.pop(key)
+        self._chain_vars -= self.solver.group_size(group)
+        self.solver.retire_group(group)
+        self.stats.chain_retractions += 1
+
     def _generate(self, rule: Rule) -> ProbeResult:
         """One incremental, assumption-based probe generation."""
         start = time.perf_counter()
@@ -579,21 +723,14 @@ class ProbeGenContext:
         higher = [r for r in candidates if r.priority > rule.priority]
         lower = [r for r in candidates if r.priority < rule.priority]
 
-        encoder = self.encoder
-        group = self.solver.new_group()
-        try:
-            encoder.assert_distinguish(
-                rule, lower, group, miss_rule=generator.miss_rule
-            )
-            assumptions = [group]
-            assumptions.extend(encoder.match_assumptions(rule.match))
-            for other in higher:
-                assumptions.append(-encoder.guard(other.match))
-            sat = self.solver.solve(
-                assumptions, max_conflicts=generator.max_conflicts
-            )
-        finally:
-            self.solver.retire_group(group)
+        group = self._chain_group(rule, lower, higher)
+        sat = self.solver.solve(
+            [group], max_conflicts=generator.max_conflicts
+        )
+        # The solve saved phase True for the selector; point the default
+        # branch back at "inactive" so other rules' solves do not pay
+        # conflicts to switch this group off.
+        self.solver.suggest_phase(group, False)
 
         self.stats.probes_generated += 1
         self.stats.solver_conflicts += sat.conflicts

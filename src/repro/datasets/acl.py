@@ -91,7 +91,10 @@ _COMMON_PORTS = (22, 25, 53, 80, 110, 123, 143, 443, 993, 3306, 5432, 8080)
 
 
 def _random_prefix(
-    rng: DeterministicRandom, universe: int, min_len: int = 16, max_len: int = 32
+    rng: DeterministicRandom,
+    universe: int,
+    min_len: int = 16,
+    max_len: int = 32,
 ) -> tuple[int, int]:
     """A (value, prefix_len) destination prefix inside ``universe``/8."""
     prefix_len = rng.randint(min_len, max_len)

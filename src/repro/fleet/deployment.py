@@ -18,10 +18,15 @@ from typing import Callable, Hashable, Mapping
 import networkx as nx
 
 from repro.controller import ConfirmMode, SdnController
-from repro.core.catching import CatchingPlan, ColoringAlgorithm, plan_catching_rules
+from repro.core.catching import (
+    CatchingPlan,
+    ColoringAlgorithm,
+    plan_catching_rules,
+)
 from repro.core.monitor import Monitor, MonitorConfig
 from repro.core.probegen import ProbeGenContextStats
 from repro.core.multiplexer import MonocleSystem
+from repro.core.shared import SharedContextRegistry, SharedContextStats
 from repro.network.network import Network
 from repro.openflow.messages import Message
 from repro.openflow.rule import Rule
@@ -45,6 +50,10 @@ class FleetDeployment:
             confirmed and acknowledged (§4).
         seed: base seed for all deployment-level randomness; the
             network forks its own streams from the same value.
+        share_contexts: dedupe probe-generation contexts across
+            switches with identical tables and compatible generator
+            configs (one shared solver per replica group, copy-on-churn
+            forking).  On by default; disable for A/B benchmarking.
     """
 
     def __init__(
@@ -60,6 +69,7 @@ class FleetDeployment:
         strategy: int = 1,
         algorithm: ColoringAlgorithm = ColoringAlgorithm.EXACT,
         use_drop_postponing: bool = False,
+        share_contexts: bool = True,
     ) -> None:
         if topology.number_of_nodes() == 0:
             raise ValueError("cannot deploy a fleet on an empty topology")
@@ -68,13 +78,18 @@ class FleetDeployment:
         self.seed = seed
         self.dynamic = dynamic
         self.rng = DeterministicRandom(seed).fork(0xF1EE7)
-        self.network = Network(self.sim, topology, profiles=profiles, seed=seed)
+        self.network = Network(
+            self.sim, topology, profiles=profiles, seed=seed
+        )
         if plan is None:
             plan = plan_catching_rules(
                 topology, strategy=strategy, algorithm=algorithm
             )
         self.plan = plan
         self.config = config if config is not None else MonitorConfig()
+        self.shared_contexts = (
+            SharedContextRegistry() if share_contexts else None
+        )
         self.system = MonocleSystem(
             self.network,
             plan=plan,
@@ -82,8 +97,11 @@ class FleetDeployment:
             dynamic=dynamic,
             controller_handler=self._handle_upstream,
             use_drop_postponing=use_drop_postponing,
+            shared_contexts=self.shared_contexts,
         )
-        self.controller = SdnController(self.sim, send=self.system.send_to_switch)
+        self.controller = SdnController(
+            self.sim, send=self.system.send_to_switch
+        )
         #: Production rules installed per node (workload bookkeeping);
         #: failure models pick their victims from here.
         self.production_rules: dict[Hashable, list[Rule]] = {
@@ -167,6 +185,12 @@ class FleetDeployment:
                     + getattr(stats, stat_field.name),
                 )
         return total
+
+    def shared_context_stats(self) -> SharedContextStats:
+        """Registry counters (all zero when sharing is disabled)."""
+        if self.shared_contexts is None:
+            return SharedContextStats()
+        return self.shared_contexts.stats
 
     def __repr__(self) -> str:
         return (

@@ -293,7 +293,8 @@ class FlowModBlackhole(FailureSpec):
 
 
 def schedule_failures(
-    deployment: FleetDeployment, specs: tuple[FailureSpec, ...] | list[FailureSpec]
+    deployment: FleetDeployment,
+    specs: "tuple[FailureSpec, ...] | list[FailureSpec]",
 ) -> list[Injection]:
     """Arm every spec on the deployment's sim clock.
 

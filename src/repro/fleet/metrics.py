@@ -42,6 +42,11 @@ class SwitchMetrics:
     probe_cache_hits: int = 0
     probe_revalidations: int = 0
     probegen_seconds: float = 0.0
+    #: Cross-switch context sharing: is this switch currently deduped
+    #: into a shared solver context, and did it fork off one
+    #: (copy-on-churn) during the scenario?
+    context_shared: bool = False
+    context_forked: bool = False
 
     def probe_rate(self, duration: float) -> float:
         """Achieved probes/s over the scenario."""
@@ -84,6 +89,12 @@ class FleetMetrics:
     updates_given_up: int
     probes_routed: int
     probes_unroutable: int
+    #: Cross-switch shared-context registry counters (zero when the
+    #: deployment runs with per-switch independent contexts).
+    tables_fingerprinted: int = 0
+    contexts_created: int = 0
+    contexts_deduped: int = 0
+    contexts_forked: int = 0
     #: Stable (time, node, kind, match) tuples for determinism checks.
     alarm_timeline: list[tuple[float, str, str, str]] = field(
         default_factory=list
@@ -149,7 +160,8 @@ def collect_fleet_metrics(
     for node in deployment.nodes:
         monitor = deployment.monitor(node)
         stats = deployment.switch(node).stats
-        genstats = monitor.probe_context.stats
+        context = monitor.probe_context
+        genstats = context.stats
         per_switch.append(
             SwitchMetrics(
                 node=node,
@@ -165,6 +177,8 @@ def collect_fleet_metrics(
                 probe_cache_hits=genstats.cache_hits,
                 probe_revalidations=genstats.revalidations,
                 probegen_seconds=genstats.generation_seconds,
+                context_shared=getattr(context, "is_shared", False),
+                context_forked=getattr(context, "forked", False),
             )
         )
 
@@ -206,6 +220,7 @@ def collect_fleet_metrics(
         d.updates_given_up for d in deployment.system.dynamics.values()
     )
 
+    shared = deployment.shared_context_stats()
     return FleetMetrics(
         duration=duration,
         per_switch=per_switch,
@@ -216,5 +231,9 @@ def collect_fleet_metrics(
         updates_given_up=updates_given_up,
         probes_routed=deployment.system.multiplexer.probes_routed,
         probes_unroutable=deployment.system.multiplexer.probes_unroutable,
+        tables_fingerprinted=shared.tables_fingerprinted,
+        contexts_created=shared.contexts_created,
+        contexts_deduped=shared.contexts_deduped,
+        contexts_forked=shared.contexts_forked,
         alarm_timeline=timeline,
     )

@@ -89,6 +89,15 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
             f"({100.0 * (served - metrics.probes_generated) / served:.0f}% "
             "served without a solve)"
         )
+    if metrics.tables_fingerprinted:
+        shared_now = sum(1 for m in metrics.per_switch if m.context_shared)
+        lines.append(
+            f"context sharing: {metrics.contexts_created} contexts for "
+            f"{metrics.tables_fingerprinted} tables "
+            f"({metrics.contexts_deduped} deduped, "
+            f"{metrics.contexts_forked} forked, "
+            f"{shared_now} switches still sharing)"
+        )
     if metrics.updates_confirmed or metrics.updates_given_up:
         lines.append(
             f"updates: {metrics.updates_confirmed} confirmed, "

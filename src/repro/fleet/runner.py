@@ -107,6 +107,8 @@ class ScenarioSpec:
     workloads: tuple[Workload, ...] = ()
     failures: tuple[FailureSpec, ...] = ()
     max_events: int | None = None
+    #: Dedupe probe-gen contexts across identical-table switches.
+    share_contexts: bool = True
 
     # ----- validation -----------------------------------------------------
 
@@ -128,11 +130,15 @@ class ScenarioSpec:
                 f"choose from {sorted(ALGORITHMS)}"
             )
         if self.strategy not in (1, 2):
-            raise ScenarioError(f"strategy must be 1 or 2, not {self.strategy}")
+            raise ScenarioError(
+                f"strategy must be 1 or 2, not {self.strategy}"
+            )
         if self.duration <= 0:
             raise ScenarioError(f"duration must be positive: {self.duration}")
         if self.probe_rate <= 0:
-            raise ScenarioError(f"probe_rate must be positive: {self.probe_rate}")
+            raise ScenarioError(
+                f"probe_rate must be positive: {self.probe_rate}"
+            )
         if self.probe_timeout <= 0 or self.update_deadline <= 0:
             raise ScenarioError("timeouts must be positive")
         if self.rules_per_switch < 0:
@@ -214,6 +220,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
             seed=spec.seed,
             strategy=spec.strategy,
             algorithm=ALGORITHMS[spec.algorithm],
+            share_contexts=spec.share_contexts,
         )
     except CapacityError as exc:
         raise ScenarioError(str(exc)) from exc
@@ -234,7 +241,10 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         duration=spec.duration,
     )
     return ScenarioResult(
-        spec=spec, deployment=deployment, injections=injections, metrics=metrics
+        spec=spec,
+        deployment=deployment,
+        injections=injections,
+        metrics=metrics,
     )
 
 
@@ -290,7 +300,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-fleet",
         description="Run a network-wide Monocle monitoring scenario.",
     )
-    parser.add_argument("--topology", default="ring", choices=sorted(TOPOLOGIES))
+    parser.add_argument(
+        "--topology", default="ring", choices=sorted(TOPOLOGIES)
+    )
     parser.add_argument("--size", type=int, default=12)
     parser.add_argument("--profile", default="ovs", choices=sorted(PROFILES))
     parser.add_argument("--duration", type=float, default=3.0)

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
-from repro.controller import ConfirmMode
 from repro.datasets.acl import AclProfile, generate_acl_table
 from repro.fleet.deployment import FleetDeployment
 from repro.network.traffic import FlowSpec, TrafficGenerator
@@ -203,7 +202,9 @@ class RuleChurn(Workload):
             priority=self.priority,
         )
 
-    def _send(self, node: Hashable, op: str, match: Match, mod: FlowMod) -> None:
+    def _send(
+        self, node: Hashable, op: str, match: Match, mod: FlowMod
+    ) -> None:
         deployment = self._deployment
         record = ChurnRecord(node=node, op=op, sent_at=deployment.sim.now)
         self.records.append(record)

@@ -55,7 +55,9 @@ class Host:
             values, payload = parse_packet(raw)
         except ParseError:
             values, payload = {}, raw
-        packet = ReceivedPacket(time=self.sim.now, values=values, payload=payload)
+        packet = ReceivedPacket(
+            time=self.sim.now, values=values, payload=payload
+        )
         if self.record_packets:
             self.received.append(packet)
         if self.on_receive is not None:

@@ -50,7 +50,9 @@ class Link:
         """Transmit from endpoint B toward endpoint A."""
         self._transmit(raw, self._a_handler)
 
-    def _transmit(self, raw: bytes, handler: Callable[[bytes], None] | None) -> None:
+    def _transmit(
+        self, raw: bytes, handler: Callable[[bytes], None] | None
+    ) -> None:
         if self.failed or handler is None:
             self.dropped += 1
             return

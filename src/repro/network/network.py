@@ -59,7 +59,9 @@ class Network:
         self.neighbor_on_port: dict[Hashable, dict[int, Hashable]] = {}
         self._next_port: dict[Hashable, int] = {}
         self._switch_numbers: dict[Hashable, int] = {
-            node: i + 1 for i, node in enumerate(sorted(topology.nodes, key=repr))
+            node: i + 1 for i, node in enumerate(
+                sorted(topology.nodes, key=repr)
+            )
         }
 
         def profile_of(node: Hashable) -> SwitchProfile:
@@ -88,7 +90,9 @@ class Network:
             self.switches[node].send_to_controller = channel.send_up
             self.channels[node] = channel
 
-        for u, v in sorted(topology.edges, key=lambda e: (repr(e[0]), repr(e[1]))):
+        for u, v in sorted(
+            topology.edges, key=lambda e: (repr(e[0]), repr(e[1]))
+        ):
             self._wire_link(u, v, link_latency)
 
     # ----- wiring ----------------------------------------------------------
@@ -116,7 +120,9 @@ class Network:
         self.neighbor_on_port[u][port_u] = v
         self.neighbor_on_port[v][port_v] = u
 
-    def add_host(self, name: str, switch: Hashable, latency: float = 0.0002) -> Host:
+    def add_host(
+        self, name: str, switch: Hashable, latency: float = 0.0002
+    ) -> Host:
         """Attach a new host to an edge port of ``switch``."""
         if name in self.hosts:
             raise ValueError(f"duplicate host name {name!r}")
@@ -164,7 +170,9 @@ class Network:
             if nbr in self.switches
         )
 
-    def upstream_options(self, node: Hashable) -> dict[int, tuple[Hashable, int]]:
+    def upstream_options(
+        self, node: Hashable
+    ) -> dict[int, tuple[Hashable, int]]:
         """For each switch-facing in_port ``p`` of ``node``: the neighbor
         and the neighbor's port that emits into ``p``.
 

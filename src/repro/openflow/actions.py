@@ -166,7 +166,9 @@ class ActionList:
                 for sf in per_port_extra.get(port, ()):
                     rewrites[sf.field_name] = sf.value
                 outcomes.append(
-                    PortOutcome(port=port, rewrites=tuple(sorted(rewrites.items())))
+                    PortOutcome(
+                        port=port, rewrites=tuple(sorted(rewrites.items()))
+                    )
                 )
             return tuple(outcomes), True
 

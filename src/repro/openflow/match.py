@@ -89,7 +89,9 @@ class Match:
 
     __slots__ = ("_fields", "_hash", "_packed")
 
-    def __init__(self, fields: Mapping[FieldName, FieldMatch] | None = None) -> None:
+    def __init__(
+        self, fields: Mapping[FieldName, FieldMatch] | None = None
+    ) -> None:
         cleaned: dict[FieldName, FieldMatch] = {}
         if fields:
             for name, fm in fields.items():

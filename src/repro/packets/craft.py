@@ -105,6 +105,11 @@ def _is_excluded(values: Mapping[FieldName, int], field: Field) -> bool:
     return values.get(field.parent, 0) not in field.parent_values
 
 
+#: OpenFlow 1.0 maps ICMP type/code onto tp_src/tp_dst; only the low
+#: byte of each exists on the wire.
+_ICMP_TP_MASK = 0xFF
+
+
 def wire_visible_items(
     values: Mapping[FieldName, int]
 ) -> tuple[tuple[FieldName, int], ...]:
@@ -113,16 +118,21 @@ def wire_visible_items(
     Conditionally-excluded fields (``nw_proto`` on an ARP packet,
     ``tp_src`` without a transport protocol, ...) never appear on the
     wire, so an observer — Monocle catching its own probe — cannot see
-    them; comparing observations must ignore them.  Missing fields are
-    treated as 0, mirroring :func:`normalize_abstract_header`.
+    them; comparing observations must ignore them.  For ICMP packets
+    the transport fields are masked to the byte the wire can carry
+    (type/code).  Missing fields are treated as 0, mirroring
+    :func:`normalize_abstract_header`.
     """
-    return tuple(
-        sorted(
-            (field.name, values.get(field.name, 0))
-            for field in HEADER
-            if not _is_excluded(values, field)
-        )
-    )
+    icmp = values.get(FieldName.NW_PROTO, 0) == IPPROTO_ICMP
+    items = []
+    for field in HEADER:
+        if _is_excluded(values, field):
+            continue
+        value = values.get(field.name, 0)
+        if icmp and field.name in (FieldName.TP_SRC, FieldName.TP_DST):
+            value &= _ICMP_TP_MASK
+        items.append((field.name, value))
+    return tuple(sorted(items))
 
 
 def normalize_abstract_header(
@@ -162,6 +172,29 @@ def normalize_abstract_header(
     for field in HEADER:
         if field.parent is not None and _is_excluded(normalized, field):
             normalized[field.name] = 0
+
+    # Step 3: ICMP narrows tp_src/tp_dst to one wire byte (type/code).
+    # A SAT solution using the upper bits would not survive the craft ->
+    # parse roundtrip, so substitute a representable value that
+    # provably preserves every rule's match result — the same spare-
+    # value argument as step 1, over the domain 0..255.
+    if normalized[FieldName.NW_PROTO] == IPPROTO_ICMP and not _is_excluded(
+        normalized, HEADER.field(FieldName.TP_SRC)
+    ):
+        for name in (FieldName.TP_SRC, FieldName.TP_DST):
+            value = normalized[name]
+            if value <= _ICMP_TP_MASK:
+                continue
+            constraints = _field_constraints(matches, name)
+            for candidate in range(_ICMP_TP_MASK + 1):
+                if _substitution_safe(candidate, value, constraints):
+                    normalized[name] = candidate
+                    break
+            else:
+                raise CraftError(
+                    f"no ICMP-representable substitute for "
+                    f"{name.value}={value:#x}"
+                )
 
     return normalized
 

@@ -25,7 +25,9 @@ def brute_force_solve(cnf: CNF) -> dict[int, bool] | None:
         )
     clause_list = list(cnf.clauses())
     for bits in range(1 << n):
-        assignment = {var: bool(bits >> (var - 1) & 1) for var in range(1, n + 1)}
+        assignment = {
+            var: bool(bits >> (var - 1) & 1) for var in range(1, n + 1)
+        }
         ok = True
         for clause in clause_list:
             if not clause:
@@ -48,7 +50,9 @@ def count_models(cnf: CNF) -> int:
     clause_list = list(cnf.clauses())
     count = 0
     for bits in range(1 << n):
-        assignment = {var: bool(bits >> (var - 1) & 1) for var in range(1, n + 1)}
+        assignment = {
+            var: bool(bits >> (var - 1) & 1) for var in range(1, n + 1)
+        }
         if all(
             any((lit > 0) == assignment[abs(lit)] for lit in clause)
             for clause in clause_list

@@ -69,14 +69,12 @@ class CNF:
 
         An empty clause is legal and makes the formula trivially UNSAT.
         """
-        count_before = len(self._flat)
         for lit in literals:
             if lit == 0:
                 raise ValueError("0 is not a valid literal")
             self.ensure_var(abs(lit))
             self._flat.append(lit)
         # Dedup-free append; solver tolerates duplicates.
-        del count_before
         self._flat.append(0)
         self._num_clauses += 1
 

@@ -19,12 +19,28 @@ sub-formula holds (equisatisfiability via Tseitin).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Protocol, Sequence
 
-from repro.sat.cnf import CNF, Lit
+from repro.sat.cnf import Lit
 
 
-def clause_and(cnf: CNF, literals: Sequence[Lit]) -> Lit:
+class ClauseSink(Protocol):
+    """Where encode helpers put clauses.
+
+    Satisfied structurally by :class:`~repro.sat.cnf.CNF` and by the
+    incremental solver adapter (:class:`~repro.core.constraints.
+    SolverSink`), so the same helpers target a throwaway formula or a
+    persistent solver context.
+    """
+
+    def new_var(self) -> int: ...
+
+    def add_clause(self, literals: Sequence[Lit]) -> None: ...
+
+    def add_unit(self, lit: Lit) -> None: ...
+
+
+def clause_and(cnf: ClauseSink, literals: Sequence[Lit]) -> Lit:
     """Fresh literal ``s`` with ``s <-> AND(literals)``.
 
     Empty input yields a literal constrained to true.
@@ -41,7 +57,7 @@ def clause_and(cnf: CNF, literals: Sequence[Lit]) -> Lit:
     return s
 
 
-def clause_or(cnf: CNF, literals: Sequence[Lit]) -> Lit:
+def clause_or(cnf: ClauseSink, literals: Sequence[Lit]) -> Lit:
     """Fresh literal ``s`` with ``s <-> OR(literals)``.
 
     Empty input yields a literal constrained to false.
@@ -68,20 +84,20 @@ def negate_conjunction(literals: Sequence[Lit]) -> list[Lit]:
     return [-lit for lit in literals]
 
 
-def at_most_one(cnf: CNF, literals: Sequence[Lit]) -> None:
+def at_most_one(cnf: ClauseSink, literals: Sequence[Lit]) -> None:
     """Pairwise at-most-one constraint over ``literals``."""
     for i in range(len(literals)):
         for j in range(i + 1, len(literals)):
             cnf.add_clause((-literals[i], -literals[j]))
 
 
-def implies(cnf: CNF, antecedent: Lit, consequent: Lit) -> None:
+def implies(cnf: ClauseSink, antecedent: Lit, consequent: Lit) -> None:
     """Add ``antecedent -> consequent``."""
     cnf.add_clause((-antecedent, consequent))
 
 
 def ite_chain(
-    cnf: CNF,
+    cnf: ClauseSink,
     branches: Sequence[tuple[Lit, Lit]],
     else_lit: Lit,
     max_segment: int = 16,
@@ -124,7 +140,7 @@ def ite_chain(
 
 
 def assert_ite_chain(
-    cnf: CNF,
+    cnf: ClauseSink,
     branches: Sequence[tuple[Lit, "bool | Lit"]],
     else_value: "bool | Lit",
 ) -> None:
@@ -167,7 +183,7 @@ def assert_ite_chain(
         cnf.add_clause(clause)
 
 
-def xor_lit(cnf: CNF, a: Lit, b: Lit) -> Lit:
+def xor_lit(cnf: ClauseSink, a: Lit, b: Lit) -> Lit:
     """Fresh literal ``s`` with ``s <-> (a XOR b)``."""
     s = cnf.new_var()
     cnf.add_clause((-s, a, b))
@@ -177,7 +193,7 @@ def xor_lit(cnf: CNF, a: Lit, b: Lit) -> Lit:
     return s
 
 
-def constant(cnf: CNF, value: bool) -> Lit:
+def constant(cnf: ClauseSink, value: bool) -> Lit:
     """Fresh literal pinned to ``value``."""
     s = cnf.new_var()
     cnf.add_unit(s if value else -s)

@@ -20,7 +20,10 @@ facilities that make those solves share work:
 Retired groups leave dead-but-satisfied clauses in the database; when
 their number exceeds both an absolute floor and a multiple of the live
 clause count, the wrapper rebuilds the core solver from the live clause
-store (**compaction**), dropping dead clauses and learned lemmas.
+store (**compaction**), dropping dead clauses.  Learned lemmas that
+mention no retired selector are implied by the surviving formula and
+are carried across the rebuild, so compaction no longer costs the
+solver its accumulated warmth.
 
 The wrapper is formula-agnostic; probe-specific encoding lives in
 :mod:`repro.core.constraints`.
@@ -28,7 +31,7 @@ The wrapper is formula-agnostic; probe-specific encoding lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.sat.cnf import CNF, Lit
@@ -46,6 +49,10 @@ class IncrementalStats:
     groups_created: int = 0
     groups_retired: int = 0
     compactions: int = 0
+    #: Lemmas carried across compactions (warmth retention).
+    lemmas_retained: int = 0
+    #: Solves answered from the memoized (formula, assumptions) result.
+    model_cache_hits: int = 0
 
 
 class IncrementalSolver:
@@ -85,8 +92,31 @@ class IncrementalSolver:
         #: per-solve assignment/propagation cost) bounded by the *live*
         #: formula instead of growing with every probe ever solved.
         self._free_vars: list[int] = []
+        #: Selectors of retired groups.  Every lemma learned from a
+        #: group's clauses carries the group's negated selector, so this
+        #: set is exactly what compaction needs to tell transferable
+        #: lemmas from dead ones.
+        self._retired: set[int] = set()
+        #: Lemmas carried over by earlier compactions (they live in the
+        #: core solver as plain clauses, so they must be re-filtered and
+        #: re-added explicitly on the next rebuild).
+        self._kept_lemmas: list[list[Lit]] = []
         self._dead_clauses = 0
+        #: Memoized last solve: ((formula generation, assumptions),
+        #: result).  Valid because a solve result only depends on the
+        #: clause database and the assumptions — heuristic state
+        #: (phases, activities, lemmas) never changes satisfiability.
+        #: The persistent probe groups of the probe-gen layer make
+        #: "identical formula, identical assumptions" the common case
+        #: under churn that cancels out (remove + re-add).
+        self._model_cache: (
+            "tuple[tuple[int, tuple[Lit, ...]], SatResult] | None"
+        ) = None
         self.stats = IncrementalStats()
+
+    #: Upper bound on lemmas surviving a compaction; beyond this the
+    #: oldest are dropped (a safety valve, not a tuning knob).
+    MAX_KEPT_LEMMAS = 20_000
 
     # ----- variables ----------------------------------------------------
 
@@ -179,6 +209,7 @@ class IncrementalSolver:
         if clauses is None:
             return  # already retired; idempotent
         self._solver.add_clause((-selector,))
+        self._retired.add(selector)
         self._free_vars.extend(self._group_vars.pop(selector, ()))
         self._dead_clauses += len(clauses)
         self.stats.groups_retired += 1
@@ -186,15 +217,51 @@ class IncrementalSolver:
 
     # ----- solving --------------------------------------------------------
 
+    def group_size(self, selector: int) -> int:
+        """Variables allocated on behalf of a live group (0 if retired)."""
+        return len(self._group_vars.get(selector, ()))
+
+    def suggest_phase(self, var: int, value: bool) -> None:
+        """Override the saved phase of ``var`` (branching heuristic).
+
+        Callers holding many live-but-inactive groups use this to point
+        the default branch of a selector at "deactivated" after a solve
+        assumed it true, so later solves of *other* groups do not waste
+        conflicts switching it back off.
+        """
+        self._solver.phase[var] = value
+
     def solve(
         self,
         assumptions: Sequence[Lit] = (),
         max_conflicts: int | None = None,
     ) -> SatResult:
-        """Solve under per-call assumptions (group selectors included)."""
+        """Solve under per-call assumptions (group selectors included).
+
+        When neither the formula nor the assumptions changed since the
+        last decided call, the memoized result is returned without
+        touching the core solver (its counters report zero new work).
+        """
+        key = (self._solver.generation, tuple(assumptions))
+        cached = self._model_cache
+        if cached is not None and cached[0] == key:
+            self.stats.solves += 1
+            self.stats.model_cache_hits += 1
+            return cached[1]
         result = self._solver.solve(
             assumptions=assumptions, max_conflicts=max_conflicts
         )
+        if result.satisfiable is not None:
+            # Key on the post-solve generation: the call itself may
+            # have flushed pending units but learned lemmas never
+            # change satisfiability.
+            self._model_cache = (
+                (self._solver.generation, tuple(assumptions)),
+                SatResult(
+                    satisfiable=result.satisfiable,
+                    assignment=result.assignment,
+                ),
+            )
         self.stats.solves += 1
         self.stats.conflicts += result.conflicts
         self.stats.propagations += result.propagations
@@ -215,18 +282,73 @@ class IncrementalSolver:
     def compact(self) -> None:
         """Rebuild the core solver from live clauses only.
 
-        Drops dead (retired) clauses and all learned lemmas; variable
-        numbering is preserved so cached literals stay valid.
+        Drops dead (retired) clauses; variable numbering is preserved so
+        cached literals stay valid.  Learned lemmas that mention no
+        retired selector are *kept*: by the selector invariant (every
+        lemma derived from a group's clauses carries the group's negated
+        selector) such lemmas are resolvents of permanent and live-group
+        clauses only, hence still implied — re-adding them preserves the
+        solver's warmth through the rebuild.  Lemmas that do mention a
+        retired selector are permanently satisfied and dropped (this is
+        also what keeps recycled variables out: a retired group's
+        auxiliaries only ever appear alongside its selector).
         """
+        keep: list[list[Lit]] = []
+        for lemma in self._kept_lemmas + self._solver.learned_clauses():
+            if any(abs(lit) in self._retired for lit in lemma):
+                continue
+            keep.append(list(lemma))
+        if len(keep) > self.MAX_KEPT_LEMMAS:
+            keep = keep[-self.MAX_KEPT_LEMMAS :]
         solver = SatSolver(CNF(self._num_vars), check_models=False)
         for clause in self._permanent:
             solver.add_clause(clause)
         for clauses in self._groups.values():
             for clause in clauses:
                 solver.add_clause(clause)
+        for lemma in keep:
+            solver.add_clause(lemma)
+        # The rebuilt core restarts its generation counter near zero; a
+        # later collision with a pre-compaction generation would let
+        # the memoized model outlive clauses added after it.  Carry the
+        # old counter forward and drop the memo outright.
+        solver.generation = self._solver.generation + 1
+        self._model_cache = None
+        self._kept_lemmas = keep
         self._solver = solver
         self._dead_clauses = 0
         self.stats.compactions += 1
+        self.stats.lemmas_retained += len(keep)
+
+    def clone(self) -> "IncrementalSolver":
+        """An independent copy: same formula, groups, lemmas, heuristics.
+
+        The substrate of copy-on-churn context forking: a forked
+        per-switch context starts from the shared solver's exact state
+        (so its next solves behave as if it had been independent all
+        along) and diverges from there.
+        """
+        dup = IncrementalSolver.__new__(IncrementalSolver)
+        dup._num_vars = self._num_vars
+        dup.compaction_floor = self.compaction_floor
+        dup.compaction_ratio = self.compaction_ratio
+        dup._solver = self._solver.clone()
+        dup._permanent = [list(clause) for clause in self._permanent]
+        dup._groups = {
+            selector: [list(clause) for clause in clauses]
+            for selector, clauses in self._groups.items()
+        }
+        dup._group_vars = {
+            selector: list(group_vars)
+            for selector, group_vars in self._group_vars.items()
+        }
+        dup._free_vars = list(self._free_vars)
+        dup._retired = set(self._retired)
+        dup._kept_lemmas = [list(clause) for clause in self._kept_lemmas]
+        dup._dead_clauses = self._dead_clauses
+        dup._model_cache = self._model_cache
+        dup.stats = replace(self.stats)
+        return dup
 
     def __repr__(self) -> str:
         return (

@@ -100,11 +100,22 @@ class SatSolver:
         # Clause database: list of literal lists.  Original clauses and
         # learned clauses share it; learned ones are appended.
         self.clauses: list[list[int]] = []
+        #: Indices into :attr:`clauses` holding learned (non-unit)
+        #: lemmas; incremental compaction uses this to carry solver
+        #: warmth across database rebuilds.
+        self.learned_idx: list[int] = []
         self._contradiction = False
         #: Unit clauses not yet asserted on the trail (consumed by solve).
         self._pending_units: list[int] = []
         #: All unit clauses ever added (for the defensive model check).
         self._units: list[int] = []
+        #: Number of currently assigned variables; lets the branching
+        #: loop detect "model found" in O(1) instead of scanning the
+        #: whole variable space once per solve.
+        self._num_assigned = 0
+        #: Bumped whenever the formula changes (clauses or variables);
+        #: callers memoizing solve results key on it.
+        self.generation = 0
 
         # Assignment state (index 0 unused).
         self.values: list[int] = [self._UNASSIGNED]
@@ -151,6 +162,8 @@ class SatSolver:
 
     def ensure_num_vars(self, count: int) -> None:
         """Grow the variable space to at least ``count`` variables."""
+        if self.num_vars < count:
+            self.generation += 1
         while self.num_vars < count:
             self.num_vars += 1
             self.values.append(self._UNASSIGNED)
@@ -164,6 +177,51 @@ class SatSolver:
         """Allocate a fresh variable and return its (positive) index."""
         self.ensure_num_vars(self.num_vars + 1)
         return self.num_vars
+
+    def learned_clauses(self) -> list[list[int]]:
+        """The non-unit lemmas currently in the database."""
+        return [self.clauses[idx] for idx in self.learned_idx]
+
+    def clone(self) -> "SatSolver":
+        """An independent copy sharing no mutable state.
+
+        Legal only at decision level 0 (between ``solve`` calls, where
+        the solver always rests).  Clause lists are copied one level
+        deep because propagation reorders their literals in place;
+        level-0 reasons are dropped (they are never resolved on — the
+        first-UIP walk stops at the current decision level).
+        """
+        if self.trail_lim:
+            raise RuntimeError("cannot clone mid-solve")
+        dup = SatSolver.__new__(SatSolver)
+        dup.enable_learning = self.enable_learning
+        dup.enable_vsids = self.enable_vsids
+        dup.restart_base = self.restart_base
+        dup.check_models = self.check_models
+        dup.num_vars = self.num_vars
+        dup.clauses = [list(clause) for clause in self.clauses]
+        dup.learned_idx = list(self.learned_idx)
+        dup._contradiction = self._contradiction
+        dup._pending_units = list(self._pending_units)
+        dup._units = list(self._units)
+        dup._num_assigned = self._num_assigned
+        dup.generation = self.generation
+        dup.values = list(self.values)
+        dup.levels = list(self.levels)
+        reasons: list[list[int] | None] = [None] * (self.num_vars + 1)
+        dup.reasons = reasons
+        dup.trail = list(self.trail)
+        dup.trail_lim = []
+        dup.phase = list(self.phase)
+        dup.watches = {
+            lit: list(indices) for lit, indices in self.watches.items()
+        }
+        dup.activity = list(self.activity)
+        dup.act_inc = self.act_inc
+        dup.act_decay = self.act_decay
+        dup._heap = list(self._heap)
+        dup.stats = SatResult(satisfiable=None)
+        return dup
 
     def add_clause(self, clause: Iterable[Lit]) -> None:
         """Append one clause to the database.
@@ -180,6 +238,7 @@ class SatSolver:
         never fire a watch event — `solve` does not re-propagate the
         old trail — and the solver would silently ignore it.
         """
+        self.generation += 1
         unique = self._simplify_clause(list(clause))
         if unique is None:
             return  # tautology
@@ -218,6 +277,7 @@ class SatSolver:
         self.reasons[var] = reason
         self.phase[var] = lit > 0
         self.trail.append(lit)
+        self._num_assigned += 1
         self.stats.propagations += 1
 
     def _decision_level(self) -> int:
@@ -315,7 +375,7 @@ class SatSolver:
 
         if len(learned) == 1:
             return learned, 0
-        backjump = max(self.levels[abs(l)] for l in learned[1:])
+        backjump = max(self.levels[abs(lit)] for lit in learned[1:])
         # Put a literal from the backjump level in watch position 1.
         for i in range(1, len(learned)):
             if self.levels[abs(learned[i])] == backjump:
@@ -356,25 +416,35 @@ class SatSolver:
                 var = abs(lit)
                 self.values[var] = self._UNASSIGNED
                 self.reasons[var] = None
-                if self.enable_vsids:
-                    heapq.heappush(self._heap, (-self.activity[var], var))
+                self._num_assigned -= 1
+                heapq.heappush(self._heap, (-self.activity[var], var))
 
     # ----- branching -----------------------------------------------------
 
     def _pick_branch(self) -> int:
-        if self.enable_vsids:
-            while self._heap:
-                neg_act, var = heapq.heappop(self._heap)
-                if self.values[var] != self._UNASSIGNED:
-                    continue
-                if -neg_act != self.activity[var]:
-                    continue  # stale entry; a fresher one exists
-                return var if self.phase[var] else -var
-        # No-VSIDS path (and defensive fallback): first unassigned var.
-        for var in range(1, self.num_vars + 1):
-            if self.values[var] == self._UNASSIGNED:
-                return var if self.phase[var] else -var
-        return 0
+        # The assigned counter makes "model found" O(1); without it the
+        # loop ended every solve with an O(vars) confirmation scan (and
+        # the no-VSIDS ablation paid it on every single decision).
+        if self._num_assigned == self.num_vars:
+            return 0
+        # With VSIDS off all activities stay 0.0, so the lazy max-heap
+        # degenerates to serving the lowest unassigned variable index —
+        # the same order the old linear scan produced.
+        while True:
+            if not self._heap:
+                # Defensive: the lazy heap lost an unassigned variable
+                # (cannot happen while the push invariants hold).
+                self._rebuild_heap()
+                if not self._heap:
+                    raise AssertionError(
+                        "unassigned variables exist but heap is empty"
+                    )
+            neg_act, var = heapq.heappop(self._heap)
+            if self.values[var] != self._UNASSIGNED:
+                continue
+            if -neg_act != self.activity[var]:
+                continue  # stale entry; a fresher one exists
+            return var if self.phase[var] else -var
 
     # ----- main loop -------------------------------------------------------
 
@@ -452,6 +522,7 @@ class SatSolver:
                     else:
                         self.clauses.append(learned)
                         idx = len(self.clauses) - 1
+                        self.learned_idx.append(idx)
                         self._watch(learned[0], idx)
                         self._watch(learned[1], idx)
                         self._assign(learned[0], learned)

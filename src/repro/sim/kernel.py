@@ -61,7 +61,9 @@ class Simulator:
             )
         return self._queue.push(time, action)
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
         """Dispatch events in time order.
 
         Args:
@@ -81,7 +83,10 @@ class Simulator:
                     break
                 if until is not None and next_time > until:
                     break
-                if max_events is not None and dispatched_this_run >= max_events:
+                if (
+                    max_events is not None
+                    and dispatched_this_run >= max_events
+                ):
                     break
                 event = self._queue.pop()
                 assert event is not None  # peek said there was one

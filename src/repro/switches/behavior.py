@@ -20,7 +20,9 @@ class Behavior:
     :meth:`barrier_waits_for_dataplane`.
     """
 
-    def __init__(self, profile: SwitchProfile, rng: DeterministicRandom) -> None:
+    def __init__(
+        self, profile: SwitchProfile, rng: DeterministicRandom
+    ) -> None:
         self.profile = profile
         self.rng = rng
 

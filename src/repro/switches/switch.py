@@ -13,12 +13,11 @@ failing ports) implements the §8.1.1 failure scenarios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.fields import FieldName
-from repro.openflow.match import Match
 from repro.openflow.messages import (
     BarrierReply,
     BarrierRequest,

@@ -11,7 +11,10 @@
 """
 
 from repro.topology.generators import fat_tree, linear, ring, star, triangle
-from repro.topology.corpus import rocketfuel_like_corpus, topology_zoo_like_corpus
+from repro.topology.corpus import (
+    rocketfuel_like_corpus,
+    topology_zoo_like_corpus,
+)
 from repro.topology.io import read_edgelist, write_edgelist
 
 __all__ = [

@@ -53,10 +53,11 @@ class TestStrategy1:
 
     def test_probe_caught_downstream_not_at_probed(self):
         plan = plan_catching_rules(triangle(), strategy=1)
-        probe_match = plan.probe_match("a", "b")
         header = {plan.field1: plan.value1("a")}
         # No catching rule at "a" matches the probe...
-        assert not any(r.match.matches(header) for r in plan.catching_rules("a"))
+        assert not any(
+            r.match.matches(header) for r in plan.catching_rules("a")
+        )
         # ...but one at the downstream neighbor does.
         assert any(r.match.matches(header) for r in plan.catching_rules("b"))
 
@@ -109,7 +110,9 @@ class TestStrategy2:
             return table.process(header)
 
         # Probed switch "a": no monitoring rule touches the probe.
-        assert not any(r.match.matches(header) for r in plan.catching_rules("a"))
+        assert not any(
+            r.match.matches(header) for r in plan.catching_rules("a")
+        )
         # Downstream "b": the catch rule wins (it may overlap a filter,
         # which is why it has the higher priority).
         assert outcome_at("b").ports() == {CONTROLLER_PORT}
@@ -143,7 +146,11 @@ class TestStrategy2:
 class TestAlgorithms:
     @pytest.mark.parametrize(
         "algorithm",
-        [ColoringAlgorithm.EXACT, ColoringAlgorithm.DSATUR, ColoringAlgorithm.LARGEST_FIRST],
+        [
+            ColoringAlgorithm.EXACT,
+            ColoringAlgorithm.DSATUR,
+            ColoringAlgorithm.LARGEST_FIRST,
+        ],
     )
     def test_all_algorithms_yield_valid_plans(self, algorithm):
         graph = nx.erdos_renyi_graph(15, 0.25, seed=9)

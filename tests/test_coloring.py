@@ -119,7 +119,9 @@ class TestSquareGraph:
             assert squared.has_edge(*edge)
 
     def test_square_coloring_separates_two_hop_neighbors(self):
-        graph = nx.random_tree(30, seed=3) if hasattr(nx, "random_tree") else nx.path_graph(30)
+        graph = nx.random_tree(
+            30, seed=3
+        ) if hasattr(nx, "random_tree") else nx.path_graph(30)
         squared = square_graph(graph)
         coloring = exact_coloring(squared)
         for node in graph.nodes:

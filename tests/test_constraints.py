@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.constraints import ConstraintCompiler, DistinguishEncoding
 from repro.openflow.actions import drop, ecmp, multicast, output
-from repro.openflow.fields import HEADER, FieldName
+from repro.openflow.fields import FieldName
 from repro.openflow.match import Match
 from repro.openflow.rule import Rule
 from repro.sat.solver import solve
@@ -55,23 +55,33 @@ class TestMatchesEncoding:
 
 class TestDiffPorts:
     def rule(self, actions, priority=5, **match):
-        return Rule(priority=priority, match=Match.build(**match), actions=actions)
+        return Rule(
+            priority=priority, match=Match.build(**match), actions=actions
+        )
 
     def test_unicast_different_ports(self):
         compiler = ConstraintCompiler()
-        assert compiler.diff_outcome(self.rule(output(1)), self.rule(output(2))) is True
+        assert compiler.diff_outcome(
+            self.rule(output(1)), self.rule(output(2))
+        ) is True
 
     def test_unicast_same_port_no_rewrites(self):
         compiler = ConstraintCompiler()
-        assert compiler.diff_outcome(self.rule(output(1)), self.rule(output(1))) is False
+        assert compiler.diff_outcome(
+            self.rule(output(1)), self.rule(output(1))
+        ) is False
 
     def test_drop_vs_unicast(self):
         compiler = ConstraintCompiler()
-        assert compiler.diff_outcome(self.rule(drop()), self.rule(output(1))) is True
+        assert compiler.diff_outcome(
+            self.rule(drop()), self.rule(output(1))
+        ) is True
 
     def test_drop_vs_drop(self):
         compiler = ConstraintCompiler()
-        assert compiler.diff_outcome(self.rule(drop()), self.rule(drop())) is False
+        assert compiler.diff_outcome(
+            self.rule(drop()), self.rule(drop())
+        ) is False
 
     def test_drop_vs_table_miss(self):
         compiler = ConstraintCompiler()
@@ -227,7 +237,9 @@ class TestDistinguishChain:
         compiler = ConstraintCompiler(encoding=encoding)
         src, dst = 0x0A000001, 0x0A000002
         rlowest = Rule(priority=0, match=Match.wildcard(), actions=output(1))
-        rlower = Rule(priority=5, match=Match.build(nw_src=src), actions=output(2))
+        rlower = Rule(
+            priority=5, match=Match.build(nw_src=src), actions=output(2)
+        )
         rprobed = Rule(
             priority=10,
             match=Match.build(nw_src=src, nw_dst=dst),
@@ -274,7 +286,9 @@ class TestDistinguishChain:
                     match_kwargs["nw_src"] = rng.randint(0, 3)
                 if rng.random() < 0.5:
                     match_kwargs["nw_dst"] = rng.randint(0, 3)
-                actions = output(rng.randint(1, 3)) if rng.random() < 0.8 else drop()
+                actions = output(
+                    rng.randint(1, 3)
+                ) if rng.random() < 0.8 else drop()
                 rules.append(
                     Rule(
                         priority=priority,

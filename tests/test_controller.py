@@ -1,16 +1,11 @@
 """Tests for the reference controller and two-phase consistent updates."""
 
-import networkx as nx
 
 from repro.controller import ConfirmMode, ConsistentPathUpdate, SdnController
-from repro.core.dynamic import UpdateAck
-from repro.core.monitor import MonitorConfig
 from repro.core.multiplexer import MonocleSystem
 from repro.network import Network
 from repro.openflow.actions import output
-from repro.openflow.fields import FieldName
 from repro.openflow.match import Match
-from repro.openflow.messages import FlowModCommand
 from repro.sim.kernel import Simulator
 from repro.switches.profiles import HP_5406ZL, OVS
 from repro.topology.generators import triangle
@@ -20,7 +15,9 @@ def direct_setup():
     """Controller wired straight to switch channels (no Monocle)."""
     sim = Simulator()
     net = Network(sim, triangle(), seed=5)
-    controller = SdnController(sim, send=lambda node, msg: net.channel(node).send_down(msg))
+    controller = SdnController(
+        sim, send=lambda node, msg: net.channel(node).send_down(msg)
+    )
     for node in net.switches:
         net.channel(node).up_handler = (
             lambda msg, n=node: controller.handle_message(n, msg)
@@ -30,13 +27,17 @@ def direct_setup():
 
 def monocle_setup(probed="s3"):
     sim = Simulator()
-    profiles = lambda n: HP_5406ZL if n == probed else OVS
+    def profiles(n):
+        return HP_5406ZL if n == probed else OVS
+
     net = Network(sim, triangle(), profiles=profiles, seed=5)
     controller_box = {}
     system = MonocleSystem(
         net,
         dynamic=True,
-        controller_handler=lambda node, msg: controller_box["c"].handle_message(node, msg),
+        controller_handler=lambda node, msg: controller_box[
+            "c"
+        ].handle_message(node, msg),
     )
     controller = SdnController(sim, send=system.send_to_switch)
     controller_box["c"] = controller
@@ -168,7 +169,9 @@ class TestConsistentUpdate:
         return sim, net, update
 
     def test_barrier_update_completes(self):
-        sim, net, update = self.run_update(ConfirmMode.BARRIER, with_monocle=False)
+        sim, net, update = self.run_update(
+            ConfirmMode.BARRIER, with_monocle=False
+        )
         assert update.done
         ingress = net.switch("s1").control_table.get(
             50, Match.build(nw_dst=0x0A000002)

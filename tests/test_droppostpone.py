@@ -16,7 +16,9 @@ from repro.openflow.rule import Rule
 
 
 def drop_rule():
-    return Rule(priority=10, match=Match.build(nw_dst=0x0A000002), actions=drop())
+    return Rule(
+        priority=10, match=Match.build(nw_dst=0x0A000002), actions=drop()
+    )
 
 
 class TestPostpone:
@@ -79,7 +81,11 @@ class TestEndToEndSemantics:
         neighbor.install(catch)
         neighbor.install(tag_drop_rule())
 
-        tagged_production = {FieldName.NW_TOS: DROP_TAG_TOS, FieldName.DL_VLAN: 0}
-        tagged_probe = {FieldName.NW_TOS: DROP_TAG_TOS, FieldName.DL_VLAN: 0xF01}
+        tagged_production = {
+            FieldName.NW_TOS: DROP_TAG_TOS, FieldName.DL_VLAN: 0
+        }
+        tagged_probe = {
+            FieldName.NW_TOS: DROP_TAG_TOS, FieldName.DL_VLAN: 0xF01
+        }
         assert neighbor.process(tagged_production).is_drop()
         assert neighbor.process(tagged_probe).ports() == {CONTROLLER_PORT}

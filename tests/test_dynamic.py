@@ -2,17 +2,14 @@
 transient tolerance, overlap queueing, deletions, modifications and
 drop-postponing (§4)."""
 
-import networkx as nx
 
 from repro.core.dynamic import UpdateAck
 from repro.core.monitor import MonitorConfig
 from repro.core.multiplexer import MonocleSystem
 from repro.network import Network
 from repro.openflow.actions import drop, output
-from repro.openflow.fields import FieldName
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod, FlowModCommand
-from repro.openflow.rule import Rule
 from repro.sim.kernel import Simulator
 from repro.switches.profiles import HP_5406ZL, OVS, PICA8
 from repro.topology.generators import triangle
@@ -20,7 +17,9 @@ from repro.topology.generators import triangle
 
 def setup(probed_profile=HP_5406ZL, seed=7, **config_kwargs):
     sim = Simulator()
-    profiles = lambda n: probed_profile if n == "s3" else OVS
+    def profiles(n):
+        return probed_profile if n == "s3" else OVS
+
     net = Network(sim, triangle(), profiles=profiles, seed=seed)
     acks = []
     system = MonocleSystem(
@@ -110,7 +109,9 @@ class TestOverlapQueueing:
         sim.run_for(5.0)
         assert dynamic.queue == []
         assert len(acks) == 2
-        assert net.switch("s3").control_table.get(50, Match.wildcard()) is not None
+        assert net.switch(
+            "s3"
+        ).control_table.get(50, Match.wildcard()) is not None
 
     def test_queue_respects_pairwise_overlaps(self):
         sim, net, system, acks = setup()
@@ -176,7 +177,9 @@ class TestModification:
         system.send_to_switch("s3", modify)
         sim.run_for(3.0)
         assert len(acks) == 2
-        dataplane_rule = net.switch("s3").dataplane.get(mod.priority, mod.match)
+        dataplane_rule = net.switch(
+            "s3"
+        ).dataplane.get(mod.priority, mod.match)
         assert dataplane_rule.forwarding_set() == {
             net.port_toward["s3"]["s2"]
         }
@@ -185,7 +188,9 @@ class TestModification:
 class TestDropPostponing:
     def test_drop_rule_positively_confirmed_and_finalized(self):
         sim = Simulator()
-        profiles = lambda n: HP_5406ZL if n == "s3" else OVS
+        def profiles(n):
+            return HP_5406ZL if n == "s3" else OVS
+
         net = Network(sim, triangle(), profiles=profiles, seed=11)
         acks = []
         system = MonocleSystem(

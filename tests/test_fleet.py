@@ -121,11 +121,15 @@ class TestDeterminism:
         # seeded RNG: a different seed must produce a different stream.
         churn_a = RuleChurn(rate=40.0)
         run_scenario(
-            _ring4_spec(seed=11, dynamic=True, failures=(), workloads=(churn_a,))
+            _ring4_spec(
+                seed=11, dynamic=True, failures=(), workloads=(churn_a,)
+            )
         )
         churn_b = RuleChurn(rate=40.0)
         run_scenario(
-            _ring4_spec(seed=12, dynamic=True, failures=(), workloads=(churn_b,))
+            _ring4_spec(
+                seed=12, dynamic=True, failures=(), workloads=(churn_b,)
+            )
         )
         assert [r.sent_at for r in churn_a.records] != [
             r.sent_at for r in churn_b.records

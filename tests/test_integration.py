@@ -11,10 +11,13 @@ from repro.core.dynamic import UpdateAck
 from repro.core.monitor import MonitorConfig
 from repro.core.multiplexer import MonocleSystem
 from repro.network import Network
-from repro.network.traffic import FlowSpec, TrafficGenerator, decode_flow_payload
+from repro.network.traffic import (
+    FlowSpec,
+    TrafficGenerator,
+    decode_flow_payload,
+)
 from repro.openflow.actions import output
 from repro.openflow.match import Match
-from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.openflow.rule import Rule
 from repro.sim.kernel import Simulator
 from repro.switches.profiles import HP_5406ZL, OVS, PICA8
@@ -26,8 +29,15 @@ class TestMiniFigure4:
 
     def test_single_rule_failure_detected_within_cycle_plus_timeout(self):
         sim = Simulator()
-        net = Network(sim, star(4), profiles=lambda n: HP_5406ZL if n == "hub" else OVS, seed=3)
-        config = MonitorConfig(probe_rate=500.0, probe_timeout=0.150, max_retries=3)
+        net = Network(
+            sim,
+            star(4),
+            profiles=lambda n: HP_5406ZL if n == "hub" else OVS,
+            seed=3,
+        )
+        config = MonitorConfig(
+            probe_rate=500.0, probe_timeout=0.150, max_retries=3
+        )
         system = MonocleSystem(net, config=config, dynamic=False)
         rules = []
         for i in range(100):
@@ -84,7 +94,9 @@ class TestMiniFigure5:
 
     def run_experiment(self, use_monocle):
         sim = Simulator()
-        profiles = lambda n: PICA8 if n == "s3" else OVS
+        def profiles(n):
+            return PICA8 if n == "s3" else OVS
+
         net = Network(sim, triangle(), profiles=profiles, seed=13)
         h1 = net.add_host("h1", "s1")
         h2 = net.add_host("h2", "s2")
@@ -117,11 +129,19 @@ class TestMiniFigure5:
         # Old path: s1 -> s2 -> h2.
         installer(
             "s1",
-            Rule(priority=50, match=match, actions=output(net.port_toward["s1"]["s2"])),
+            Rule(
+                priority=50,
+                match=match,
+                actions=output(net.port_toward["s1"]["s2"]),
+            ),
         )
         installer(
             "s2",
-            Rule(priority=50, match=match, actions=output(net.port_toward["s2"]["h2"])),
+            Rule(
+                priority=50,
+                match=match,
+                actions=output(net.port_toward["s2"]["h2"]),
+            ),
         )
 
         spec = FlowSpec(

@@ -16,7 +16,9 @@ from repro.openflow.fields import HEADER, FieldName
 from repro.openflow.match import FieldMatch, Match
 
 # A compact universe so exhaustive cross-checks stay cheap.
-FIELDS = [FieldName.NW_SRC, FieldName.NW_DST, FieldName.NW_TOS, FieldName.TP_DST]
+FIELDS = [
+    FieldName.NW_SRC, FieldName.NW_DST, FieldName.NW_TOS, FieldName.TP_DST
+]
 
 
 @st.composite
@@ -26,7 +28,9 @@ def field_match(draw, name):
     if kind == "wildcard":
         return None
     if kind == "exact":
-        return FieldMatch.exact(field, draw(st.integers(0, min(field.max_value, 7))))
+        return FieldMatch.exact(
+            field, draw(st.integers(0, min(field.max_value, 7)))
+        )
     prefix_len = draw(st.integers(1, min(field.width, 6)))
     value = draw(st.integers(0, min(field.max_value, 63))) << (
         field.width - min(field.width, 6)

@@ -1,8 +1,6 @@
 """Tests for the Monitor proxy: expected-table tracking, steady-state
 cycling, probe confirmation and alarms — over a real simulated star."""
 
-import networkx as nx
-import pytest
 
 from repro.core.monitor import MonitorConfig, outcome_observations
 from repro.core.multiplexer import MonocleSystem

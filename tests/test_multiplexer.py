@@ -1,13 +1,16 @@
 """Tests for the Multiplexer and MonocleSystem wiring (§6/§7)."""
 
-import networkx as nx
 
-from repro.core.monitor import MonitorConfig
 from repro.core.multiplexer import MonocleSystem, Multiplexer
 from repro.network import Network
 from repro.openflow.actions import CONTROLLER_PORT, output
 from repro.openflow.match import Match
-from repro.openflow.messages import EchoRequest, FlowMod, FlowModCommand, PacketIn
+from repro.openflow.messages import (
+    EchoRequest,
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+)
 from repro.openflow.rule import Rule
 from repro.packets.craft import craft_packet
 from repro.packets.payload import ProbeMetadata
@@ -38,7 +41,9 @@ class TestDeployment:
         for node in net.switches:
             rules = system.plan.catching_rules(node)
             for rule in rules:
-                assert net.switch(node).dataplane.get(rule.priority, rule.match)
+                assert net.switch(
+                    node
+                ).dataplane.get(rule.priority, rule.match)
                 assert system.monitors[node].expected.get(
                     rule.priority, rule.match
                 )
@@ -62,8 +67,12 @@ class TestInjection:
         )
         packet = craft_packet(
             {
-                __import__("repro.openflow.fields", fromlist=["FieldName"]).FieldName.DL_TYPE: 0x0800,
-                __import__("repro.openflow.fields", fromlist=["FieldName"]).FieldName.NW_PROTO: 17,
+                __import__(
+                    "repro.openflow.fields", fromlist=["FieldName"]
+                ).FieldName.DL_TYPE: 0x0800,
+                __import__(
+                    "repro.openflow.fields", fromlist=["FieldName"]
+                ).FieldName.NW_PROTO: 17,
             },
             b"x",
         )
@@ -112,7 +121,9 @@ class TestPacketInRouting:
         from repro.openflow.fields import FieldName
 
         # A probe-looking packet whose nonce no monitor knows.
-        meta = ProbeMetadata(switch_id=net.switch_number("s1"), rule_cookie=1, nonce=999999)
+        meta = ProbeMetadata(
+            switch_id=net.switch_number("s1"), rule_cookie=1, nonce=999999
+        )
         raw = craft_packet(
             {FieldName.DL_TYPE: 0x0800, FieldName.NW_PROTO: 17},
             meta.encode(),

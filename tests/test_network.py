@@ -1,6 +1,5 @@
 """Tests for network wiring: links, channels, hosts, topology maps."""
 
-import networkx as nx
 
 from repro.network import ControlChannel, Link, Network
 from repro.network.traffic import (
@@ -23,7 +22,9 @@ class TestLink:
         sim = Simulator()
         link = Link(sim, latency=0.005)
         arrived = []
-        link.connect(lambda raw: None, lambda raw: arrived.append((sim.now, raw)))
+        link.connect(
+            lambda raw: None, lambda raw: arrived.append((sim.now, raw))
+        )
         link.send_from_a(b"x")
         sim.run()
         assert arrived == [(0.005, b"x")]
@@ -146,7 +147,9 @@ class TestNetwork:
                 actions=output(net.port_toward["s2"]["h2"]),
             )
         )
-        h1.send(nw_dst=0x0A000002, dl_type=0x0800, nw_proto=17, payload=b"hello")
+        h1.send(
+            nw_dst=0x0A000002, dl_type=0x0800, nw_proto=17, payload=b"hello"
+        )
         sim.run_for(0.1)
         assert len(h2.received) == 1
         assert h2.received[0].payload == b"hello"
@@ -191,7 +194,9 @@ class TestTraffic:
         host = net.add_host("h1", "s1")
         spec = FlowSpec(
             flow_id=1,
-            header_fields=(("dl_type", 0x0800), ("nw_proto", 17), ("nw_dst", 5)),
+            header_fields=(
+                ("dl_type", 0x0800), ("nw_proto", 17), ("nw_dst", 5)
+            ),
         )
         gen = TrafficGenerator(sim, host, spec, rate=100.0)
         gen.start()
@@ -203,7 +208,9 @@ class TestTraffic:
         sim = Simulator()
         net = Network(sim, triangle(), seed=1)
         host = net.add_host("h1", "s1")
-        spec = FlowSpec(flow_id=1, header_fields=(("dl_type", 0x0800), ("nw_proto", 17)))
+        spec = FlowSpec(
+            flow_id=1, header_fields=(("dl_type", 0x0800), ("nw_proto", 17))
+        )
         gen = TrafficGenerator(sim, host, spec, rate=100.0)
         gen.start()
         sim.run_for(0.1)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.openflow.actions import (
     ActionList,
-    Drop,
     EcmpGroup,
     Forward,
     Multicast,
@@ -95,7 +94,10 @@ class TestRewrites:
                 Forward(2),
             )
         )
-        assert actions.rewritten_fields() == {FieldName.NW_TOS, FieldName.DL_VLAN}
+        assert actions.rewritten_fields() == {
+            FieldName.NW_TOS,
+            FieldName.DL_VLAN,
+        }
 
     def test_setfield_range_checked(self):
         with pytest.raises(ValueError):

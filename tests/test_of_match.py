@@ -125,7 +125,9 @@ class TestMatch:
 
     def test_matches_packed_roundtrip(self):
         match = Match.build(nw_src=0x0A000001, tp_dst=80)
-        header = HEADER.pack({FieldName.NW_SRC: 0x0A000001, FieldName.TP_DST: 80})
+        header = HEADER.pack(
+            {FieldName.NW_SRC: 0x0A000001, FieldName.TP_DST: 80}
+        )
         assert match.matches_packed(header)
 
     def test_bit_constraints_count(self):
@@ -144,13 +146,18 @@ class TestMatch:
         match = Match.build(nw_src=1)
         rewritten = match.rewritten_by({FieldName.NW_TOS: 0x2A})
         assert rewritten.matches({FieldName.NW_SRC: 1, FieldName.NW_TOS: 0x2A})
-        assert not rewritten.matches({FieldName.NW_SRC: 1, FieldName.NW_TOS: 0})
+        assert not rewritten.matches(
+            {FieldName.NW_SRC: 1, FieldName.NW_TOS: 0}
+        )
 
     def test_packed_overlap_agrees_with_fieldwise(self):
         pairs = [
             (Match.build(nw_src=1), Match.build(nw_src=1, nw_dst=2)),
             (Match.build(nw_src=1), Match.build(nw_src=2)),
-            (Match.build(nw_dst=(0x0A000000, 8)), Match.build(nw_dst=(0x0A0B0000, 16))),
+            (
+                Match.build(nw_dst=(0x0A000000, 8)),
+                Match.build(nw_dst=(0x0A0B0000, 16)),
+            ),
             (Match.wildcard(), Match.build(tp_src=80)),
         ]
         for a, b in pairs:

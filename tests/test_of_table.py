@@ -26,14 +26,20 @@ class TestLookup:
 
     def test_miss_returns_none(self):
         table = FlowTable()
-        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
+        table.install(
+            Rule(priority=5, match=Match.build(nw_src=1), actions=output(1))
+        )
         assert table.lookup(header(nw_src=2)) is None
 
     def test_lookup_agrees_with_linear_scan(self):
         # Reference property: lookup == max-priority matching rule.
         table = FlowTable(check_overlap=False)
         rules = [
-            Rule(priority=p, match=Match.build(nw_dst=(0x0A000000, p % 9)), actions=output(p % 4 + 1))
+            Rule(
+                priority=p,
+                match=Match.build(nw_dst=(0x0A000000, p % 9)),
+                actions=output(p % 4 + 1),
+            )
             for p in range(1, 30)
         ]
         for rule in rules:
@@ -58,27 +64,43 @@ class TestInstallSemantics:
 
     def test_equal_priority_overlap_rejected(self):
         table = FlowTable()
-        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
+        table.install(
+            Rule(priority=5, match=Match.build(nw_src=1), actions=output(1))
+        )
         with pytest.raises(OverlapError):
-            table.install(Rule(priority=5, match=Match.wildcard(), actions=output(2)))
+            table.install(
+                Rule(priority=5, match=Match.wildcard(), actions=output(2))
+            )
 
     def test_equal_priority_disjoint_allowed(self):
         table = FlowTable()
-        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
-        table.install(Rule(priority=5, match=Match.build(nw_src=2), actions=output(2)))
+        table.install(
+            Rule(priority=5, match=Match.build(nw_src=1), actions=output(1))
+        )
+        table.install(
+            Rule(priority=5, match=Match.build(nw_src=2), actions=output(2))
+        )
         assert len(table) == 2
 
     def test_overlap_check_can_be_disabled(self):
         table = FlowTable(check_overlap=False)
-        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(1)))
-        table.install(Rule(priority=5, match=Match.wildcard(), actions=output(2)))
+        table.install(
+            Rule(priority=5, match=Match.build(nw_src=1), actions=output(1))
+        )
+        table.install(
+            Rule(priority=5, match=Match.wildcard(), actions=output(2))
+        )
         assert len(table) == 2
 
     def test_rules_sorted_desc_priority(self):
         table = FlowTable()
         for priority in (3, 9, 1, 5):
             table.install(
-                Rule(priority=priority, match=Match.build(nw_src=priority), actions=output(1))
+                Rule(
+                    priority=priority,
+                    match=Match.build(nw_src=priority),
+                    actions=output(1),
+                )
             )
         assert [r.priority for r in table.rules()] == [9, 5, 3, 1]
 
@@ -94,8 +116,16 @@ class TestRemoval:
 
     def test_remove_matching_nonstrict_covers(self):
         table = FlowTable(check_overlap=False)
-        inside = Rule(priority=5, match=Match.build(nw_dst=(0x0A000000, 24)), actions=output(1))
-        outside = Rule(priority=6, match=Match.build(nw_dst=(0x0B000000, 24)), actions=output(1))
+        inside = Rule(
+            priority=5,
+            match=Match.build(nw_dst=(0x0A000000, 24)),
+            actions=output(1),
+        )
+        outside = Rule(
+            priority=6,
+            match=Match.build(nw_dst=(0x0B000000, 24)),
+            actions=output(1),
+        )
         table.install(inside)
         table.install(outside)
         removed = table.remove_matching(Match.build(nw_dst=(0x0A000000, 8)))
@@ -171,7 +201,9 @@ class TestQueries:
 class TestProcess:
     def test_unicast_emission(self):
         table = FlowTable()
-        table.install(Rule(priority=5, match=Match.build(nw_src=1), actions=output(3)))
+        table.install(
+            Rule(priority=5, match=Match.build(nw_src=1), actions=output(3))
+        )
         outcome = table.process(header(nw_src=1))
         assert outcome.ports() == {3}
         assert not outcome.is_drop()
@@ -188,7 +220,11 @@ class TestProcess:
     def test_rewrite_applied_to_emission(self):
         table = FlowTable()
         table.install(
-            Rule(priority=5, match=Match.build(nw_src=1), actions=output(2, nw_tos=0x15))
+            Rule(
+                priority=5,
+                match=Match.build(nw_src=1),
+                actions=output(2, nw_tos=0x15),
+            )
         )
         outcome = table.process(header(nw_src=1, nw_tos=0))
         (port, items), = outcome.emissions
@@ -198,20 +234,28 @@ class TestProcess:
     def test_multicast_emits_on_all_ports(self):
         table = FlowTable()
         table.install(
-            Rule(priority=5, match=Match.wildcard(), actions=multicast([1, 2, 3]))
+            Rule(
+                priority=5,
+                match=Match.wildcard(),
+                actions=multicast([1, 2, 3]),
+            )
         )
         assert table.process(header()).ports() == {1, 2, 3}
 
     def test_ecmp_chooser_selects_single_port(self):
         table = FlowTable()
-        table.install(Rule(priority=5, match=Match.wildcard(), actions=ecmp([4, 7])))
+        table.install(
+            Rule(priority=5, match=Match.wildcard(), actions=ecmp([4, 7]))
+        )
         outcome = table.process(header(), ecmp_chooser=lambda rule: 7)
         assert outcome.ports() == {7}
         assert not outcome.ecmp
 
     def test_ecmp_default_chooser_lowest(self):
         table = FlowTable()
-        table.install(Rule(priority=5, match=Match.wildcard(), actions=ecmp([4, 7])))
+        table.install(
+            Rule(priority=5, match=Match.wildcard(), actions=ecmp([4, 7]))
+        )
         assert table.process(header()).ports() == {4}
 
 

@@ -306,3 +306,62 @@ class TestProbeMetadata:
         raw = craft_packet(header, meta.encode())
         _, payload = parse_packet(raw)
         assert ProbeMetadata.decode(payload) == meta
+
+
+class TestIcmpTransportNarrowing:
+    """OF 1.0 maps ICMP type/code onto tp_src/tp_dst: one wire byte."""
+
+    def _icmp_header(self, tp_src=0, tp_dst=0):
+        return {
+            FieldName.DL_TYPE: ETHERTYPE_IPV4,
+            FieldName.NW_PROTO: 1,  # ICMP
+            FieldName.NW_SRC: 0x0A000001,
+            FieldName.NW_DST: 0x0A000002,
+            FieldName.TP_SRC: tp_src,
+            FieldName.TP_DST: tp_dst,
+        }
+
+    def test_wide_tp_values_are_substituted(self):
+        normalized = normalize_abstract_header(
+            self._icmp_header(tp_src=0x1234, tp_dst=0x1F90), []
+        )
+        assert normalized[FieldName.TP_SRC] <= 0xFF
+        assert normalized[FieldName.TP_DST] <= 0xFF
+
+    def test_normalized_header_roundtrips(self):
+        normalized = normalize_abstract_header(
+            self._icmp_header(tp_src=0x1234, tp_dst=0x1F90), []
+        )
+        packet = craft_packet(normalized)
+        values, _payload = parse_packet(packet, in_port=0)
+        from repro.packets.craft import wire_visible_items
+
+        assert wire_visible_items(values) == wire_visible_items(normalized)
+
+    def test_substitution_preserves_matches(self):
+        match = Match.build(tp_dst=0x40)
+        normalized = normalize_abstract_header(
+            self._icmp_header(tp_dst=0x1F90), [match]
+        )
+        # 0x1F90 does not match tp_dst=0x40; the substitute must not
+        # start matching it.
+        assert not match.matches(normalized)
+
+    def test_pinned_wide_value_is_uncraftable(self):
+        match = Match.build(tp_dst=0x1F90)
+        with pytest.raises(CraftError):
+            normalize_abstract_header(
+                self._icmp_header(tp_dst=0x1F90), [match]
+            )
+
+    def test_wire_visible_items_mask_icmp_tp(self):
+        from repro.packets.craft import wire_visible_items
+
+        items = dict(wire_visible_items(self._icmp_header(tp_dst=0x1F90)))
+        assert items[FieldName.TP_DST] == 0x90
+
+    def test_tcp_keeps_full_width(self):
+        header = self._icmp_header(tp_dst=0x1F90)
+        header[FieldName.NW_PROTO] = 6  # TCP
+        normalized = normalize_abstract_header(header, [])
+        assert normalized[FieldName.TP_DST] == 0x1F90

@@ -33,20 +33,28 @@ def table_of(*rules):
 
 class TestBasicUnicast:
     def test_simple_rule_over_default(self):
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(2)
+        )
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         table = table_of(probed, default)
         result = generator().generate(table, probed)
         assert result.ok
-        assert verify_probe(table, probed, result.header, CATCH) == (True, "ok")
+        assert verify_probe(
+            table, probed, result.header, CATCH
+        ) == (True, "ok")
         assert result.header[FieldName.DL_VLAN] == 0xF03
         assert result.packet is not None and len(result.packet) > 20
 
     def test_paper_3_1_example(self):
         rlowest = Rule(priority=0, match=Match.wildcard(), actions=output(1))
-        rlower = Rule(priority=5, match=Match.build(nw_src=SRC), actions=output(2))
+        rlower = Rule(
+            priority=5, match=Match.build(nw_src=SRC), actions=output(2)
+        )
         rprobed = Rule(
-            priority=10, match=Match.build(nw_src=SRC, nw_dst=DST), actions=output(1)
+            priority=10, match=Match.build(
+                nw_src=SRC, nw_dst=DST
+            ), actions=output(1)
         )
         table = table_of(rlowest, rlower, rprobed)
         result = generator().generate(table, rprobed)
@@ -58,9 +66,13 @@ class TestBasicUnicast:
 
     def test_probe_avoids_higher_priority_rules(self):
         probed = Rule(
-            priority=5, match=Match.build(nw_dst=(0x0A000000, 24)), actions=output(2)
+            priority=5, match=Match.build(
+                nw_dst=(0x0A000000, 24)
+            ), actions=output(2)
         )
-        shadow = Rule(priority=9, match=Match.build(nw_dst=DST), actions=output(3))
+        shadow = Rule(
+            priority=9, match=Match.build(nw_dst=DST), actions=output(3)
+        )
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         table = table_of(probed, shadow, default)
         result = generator().generate(table, probed)
@@ -69,7 +81,9 @@ class TestBasicUnicast:
         assert verify_probe(table, probed, result.header, CATCH)[0]
 
     def test_outcomes_reported(self):
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(2)
+        )
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         table = table_of(probed, default)
         result = generator().generate(table, probed)
@@ -80,8 +94,12 @@ class TestBasicUnicast:
 
 class TestUnmonitorable:
     def test_fully_shadowed_rule(self):
-        primary = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(1))
-        backup = Rule(priority=5, match=Match.build(nw_dst=DST), actions=output(2))
+        primary = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(1)
+        )
+        backup = Rule(
+            priority=5, match=Match.build(nw_dst=DST), actions=output(2)
+        )
         table = table_of(primary, backup)
         result = generator().generate(table, backup)
         assert not result.ok
@@ -89,7 +107,9 @@ class TestUnmonitorable:
 
     def test_same_outcome_as_default(self):
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(1))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(1)
+        )
         table = table_of(default, probed)
         result = generator().generate(table, probed)
         assert not result.ok
@@ -97,14 +117,18 @@ class TestUnmonitorable:
     def test_catch_conflict_unmonitorable(self):
         # The rule pins dl_vlan to a non-reserved value: the probe cannot
         # both hit it and match the catching rule.
-        probed = Rule(priority=10, match=Match.build(dl_vlan=5), actions=output(1))
+        probed = Rule(
+            priority=10, match=Match.build(dl_vlan=5), actions=output(1)
+        )
         table = table_of(probed)
         result = generator().generate(table, probed)
         assert not result.ok
 
     def test_drop_over_drop_default_unmonitorable(self):
         default = Rule(priority=0, match=Match.wildcard(), actions=drop())
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=drop())
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=drop()
+        )
         table = table_of(default, probed)
         assert not generator().generate(table, probed).ok
 
@@ -137,7 +161,9 @@ class TestRewriteRules:
 class TestDropRules:
     def test_negative_probe_for_drop(self):
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=drop())
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=drop()
+        )
         table = table_of(default, probed)
         result = generator().generate(table, probed)
         assert result.ok
@@ -151,7 +177,9 @@ class TestMulticastEcmp:
     def test_multicast_vs_unicast(self):
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         probed = Rule(
-            priority=10, match=Match.build(nw_dst=DST), actions=multicast([1, 2])
+            priority=10, match=Match.build(
+                nw_dst=DST
+            ), actions=multicast([1, 2])
         )
         table = table_of(default, probed)
         result = generator().generate(table, probed)
@@ -181,7 +209,9 @@ class TestMulticastEcmp:
 
 class TestInPortHandling:
     def test_valid_in_ports_respected(self):
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(2)
+        )
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         table = table_of(probed, default)
         result = generator(valid_in_ports=(3, 7)).generate(table, probed)
@@ -190,7 +220,9 @@ class TestInPortHandling:
 
     def test_in_port_match_conflicting_with_valid_ports(self):
         probed = Rule(
-            priority=10, match=Match.build(in_port=9, nw_dst=DST), actions=output(2)
+            priority=10, match=Match.build(
+                in_port=9, nw_dst=DST
+            ), actions=output(2)
         )
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         table = table_of(probed, default)
@@ -208,14 +240,18 @@ class TestOverlapFilter:
             )
             for i in range(50)
         ]
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(2)
+        )
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         return table_of(probed, default, *rules), probed
 
     def test_filter_reduces_instance_size(self):
         table, probed = self.build_big_table()
         with_filter = generator().generate(table, probed)
-        without_filter = generator(overlap_filter=False).generate(table, probed)
+        without_filter = generator(
+            overlap_filter=False
+        ).generate(table, probed)
         assert with_filter.ok and without_filter.ok
         assert with_filter.overlapping_rules < without_filter.overlapping_rules
         assert with_filter.cnf_clauses < without_filter.cnf_clauses
@@ -229,7 +265,9 @@ class TestOverlapFilter:
 
 class TestExpectedOutcomes:
     def test_present_and_absent(self):
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(2)
+        )
         default = Rule(priority=0, match=Match.wildcard(), actions=output(1))
         table = table_of(probed, default)
         header = {FieldName.NW_DST: DST}
@@ -238,19 +276,174 @@ class TestExpectedOutcomes:
         assert absent.ports() == {1}
 
     def test_absent_to_miss_drop(self):
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(2)
+        )
         table = table_of(probed)
-        present, absent = expected_outcomes(table, probed, {FieldName.NW_DST: DST})
+        present, absent = expected_outcomes(
+            table, probed, {FieldName.NW_DST: DST}
+        )
         assert present.ports() == {2}
         assert absent.is_drop()
 
 
 class TestStatsAndBudget:
     def test_generation_time_recorded(self):
-        probed = Rule(priority=10, match=Match.build(nw_dst=DST), actions=output(2))
-        table = table_of(probed, Rule(priority=0, match=Match.wildcard(), actions=output(1)))
+        probed = Rule(
+            priority=10, match=Match.build(nw_dst=DST), actions=output(2)
+        )
+        table = table_of(
+            probed, Rule(priority=0, match=Match.wildcard(), actions=output(1))
+        )
         result = generator().generate(table, probed)
         from repro.openflow.fields import HEADER_BITS
 
         assert result.generation_time > 0
         assert result.cnf_vars >= HEADER_BITS  # header bits + Tseitin vars
+
+
+class TestPersistentChains:
+    """Persistent per-rule probe groups in ProbeGenContext."""
+
+    def _context(self, *rules):
+        from repro.core.probegen import ProbeGenContext
+
+        context = ProbeGenContext(generator())
+        for rule in rules:
+            context.add_rule(rule)
+        return context
+
+    def _rules(self):
+        hot = Rule(
+            priority=100,
+            match=Match.build(nw_dst=(0x0A000000, 8)),
+            actions=output(2),
+        )
+        below = Rule(
+            priority=50,
+            match=Match.build(nw_dst=0x0A000005),
+            actions=drop(),
+        )
+        above = Rule(
+            priority=200,
+            match=Match.build(nw_dst=0x0A000009),
+            actions=output(3),
+        )
+        return hot, below, above
+
+    def test_chain_reused_across_probes(self):
+        hot, below, above = self._rules()
+        context = self._context(hot, below, above)
+        assert context.probe_for(hot).ok
+        context.clear_cache()  # force a real solve, same table
+        assert context.probe_for(hot).ok
+        assert context.stats.chain_emits == 1
+        assert context.stats.chain_reuses == 1
+        assert context.stats.chain_retractions == 0
+
+    def test_chain_survives_remove_readd_churn(self):
+        hot, below, above = self._rules()
+        context = self._context(hot, below, above)
+        assert context.probe_for(hot).ok
+        context.remove_rule(below)
+        context.add_rule(below)
+        context.clear_cache()
+        assert context.probe_for(hot).ok
+        # The overlap context is unchanged, so the chain group (and via
+        # the solver's model cache, the whole solve) is reused.
+        assert context.stats.chain_emits == 1
+        assert context.stats.chain_reuses == 1
+
+    def test_chain_retracted_when_lower_overlap_churns(self):
+        hot, below, above = self._rules()
+        context = self._context(hot, below, above)
+        assert context.probe_for(hot).ok
+        # Change the lower rule's behaviour: the Distinguish chain for
+        # the hot rule is stale and must be re-emitted.
+        context.add_rule(below.with_actions(output(4)))
+        context.clear_cache()
+        result = context.probe_for(hot)
+        assert result.ok
+        assert context.stats.chain_emits == 2
+        assert context.stats.chain_retractions == 1
+        valid, why = verify_probe(context.table, hot, result.header, CATCH)
+        assert valid, why
+
+    def test_chain_kept_when_higher_actions_churn(self):
+        # Higher rules enter the constraints only via their matches;
+        # an action change above the probed rule must not retract.
+        hot, below, above = self._rules()
+        context = self._context(hot, below, above)
+        assert context.probe_for(hot).ok
+        context.add_rule(above.with_actions(output(5)))
+        context.clear_cache()
+        assert context.probe_for(hot).ok
+        assert context.stats.chain_emits == 1
+        assert context.stats.chain_reuses == 1
+
+    def test_chain_retired_with_rule_removal(self):
+        hot, below, above = self._rules()
+        context = self._context(hot, below, above)
+        assert context.probe_for(hot).ok
+        retired_before = context.solver.stats.groups_retired
+        context.remove_rule(hot)
+        assert context.solver.stats.groups_retired == retired_before + 1
+        assert context.stats.chain_retractions == 1
+
+    def test_chain_lru_eviction_bounds_live_vars(self):
+        from repro.core.probegen import ProbeGenContext
+
+        context = ProbeGenContext(generator())
+        context._chain_budget = lambda: 4  # tiny budget for the test
+        rules = []
+        for i in range(6):
+            probed = Rule(
+                priority=100 + i,
+                match=Match.build(nw_dst=(0x0A000000 + (i << 16), 16)),
+                actions=output(2 + i % 3),
+            )
+            lower = Rule(
+                priority=10 + i,
+                match=Match.build(nw_dst=0x0A000001 + (i << 16)),
+                actions=drop(),
+            )
+            context.add_rule(probed)
+            context.add_rule(lower)
+            rules.append(probed)
+        for rule in rules:
+            context.probe_for(rule)
+        assert context._chain_vars <= 4 + max(
+            context.solver.group_size(group)
+            for group, _sig in context._chains.values()
+        )
+        assert context.stats.chain_retractions > 0
+        # Evicted chains re-emit and still produce valid probes.
+        context.clear_cache()
+        for rule in rules:
+            result = context.probe_for(rule)
+            assert result.ok
+            valid, why = verify_probe(
+                context.table, rule, result.header, CATCH
+            )
+            assert valid, why
+
+    def test_fork_is_independent_and_byte_identical(self):
+        hot, below, above = self._rules()
+        context = self._context(hot, below, above)
+        first = context.probe_for(hot)
+        fork = context.fork()
+        # Same churn on both sides -> byte-identical probes.
+        change = below.with_actions(output(4))
+        context.add_rule(change)
+        fork.add_rule(change)
+        context.clear_cache()
+        fork.clear_cache()
+        a = context.probe_for(hot)
+        b = fork.probe_for(hot)
+        assert a.packet == b.packet and a.header == b.header
+        # Diverging the fork does not touch the original.
+        fork.remove_rule(above)
+        assert context.table.get(*above.key()) is not None
+        assert fork.table.get(*above.key()) is None
+        again = context.probe_for(hot)
+        assert again.packet == first.packet or again.ok

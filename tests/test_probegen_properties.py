@@ -40,7 +40,9 @@ def rule_strategy(draw, priority):
         match_kwargs["nw_src"] = draw(st.sampled_from(SRC_VALUES))
     if draw(st.booleans()):
         match_kwargs["nw_dst"] = draw(st.sampled_from(DST_VALUES))
-    kind = draw(st.sampled_from(["unicast", "drop", "rewrite", "multicast", "ecmp"]))
+    kind = draw(
+        st.sampled_from(["unicast", "drop", "rewrite", "multicast", "ecmp"])
+    )
     if kind == "unicast":
         actions = output(draw(st.sampled_from(PORTS)))
     elif kind == "drop":
@@ -51,15 +53,21 @@ def rule_strategy(draw, priority):
         )
     elif kind == "multicast":
         ports = draw(
-            st.lists(st.sampled_from(PORTS), min_size=2, max_size=3, unique=True)
+            st.lists(
+                st.sampled_from(PORTS), min_size=2, max_size=3, unique=True
+            )
         )
         actions = multicast(ports)
     else:
         ports = draw(
-            st.lists(st.sampled_from(PORTS), min_size=2, max_size=3, unique=True)
+            st.lists(
+                st.sampled_from(PORTS), min_size=2, max_size=3, unique=True
+            )
         )
         actions = ecmp(ports)
-    return Rule(priority=priority, match=Match.build(**match_kwargs), actions=actions)
+    return Rule(
+        priority=priority, match=Match.build(**match_kwargs), actions=actions
+    )
 
 
 @st.composite
@@ -67,7 +75,9 @@ def table_strategy(draw):
     num_rules = draw(st.integers(2, 6))
     priorities = draw(
         st.lists(
-            st.integers(1, 30), min_size=num_rules, max_size=num_rules, unique=True
+            st.integers(
+                1, 30
+            ), min_size=num_rules, max_size=num_rules, unique=True
         )
     )
     rules = [draw(rule_strategy(priority)) for priority in priorities]
@@ -92,7 +102,9 @@ def test_generated_probes_satisfy_table1(table_and_rule):
         # matter (craft/parse round trip on a generated probe).
         from repro.packets.parse import parse_packet
 
-        values, _ = parse_packet(result.packet, result.header[FieldName.IN_PORT])
+        values, _ = parse_packet(
+            result.packet, result.header[FieldName.IN_PORT]
+        )
         for name in (FieldName.NW_SRC, FieldName.NW_DST, FieldName.DL_VLAN):
             assert values[name] == result.header[name]
 

@@ -34,7 +34,9 @@ class TestProfiles:
 
     def test_costs_are_inverse_rates(self):
         for profile in ALL_PROFILES:
-            assert profile.flowmod_cost == pytest.approx(1.0 / profile.flowmod_rate)
+            assert profile.flowmod_cost == pytest.approx(
+                1.0 / profile.flowmod_rate
+            )
             assert profile.packetout_cost == pytest.approx(
                 1.0 / profile.packetout_rate
             )

@@ -2,7 +2,6 @@
 
 import itertools
 
-from repro.sat.brute import brute_force_solve, count_models
 from repro.sat.cnf import CNF
 from repro.sat.encode import (
     at_most_one,
@@ -131,7 +130,9 @@ class TestIteChain:
             g1, v1, g2, v2, ev = assignment
             cnf = CNF()
             lits = cnf.new_vars(5)
-            s = ite_chain(cnf, [(lits[0], lits[1]), (lits[2], lits[3])], lits[4])
+            s = ite_chain(
+                cnf, [(lits[0], lits[1]), (lits[2], lits[3])], lits[4]
+            )
             for lit, val in zip(lits, assignment):
                 cnf.add_unit(lit if val else -lit)
             result = solve(cnf)

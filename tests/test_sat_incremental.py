@@ -288,3 +288,227 @@ class TestCoreSolverIncrementalSurface:
         solver = SatSolver(cnf, enable_learning=False)
         assert solver.solve(assumptions=[-1, -3]).satisfiable is False
         assert solver.solve(assumptions=[-1]).satisfiable is True
+
+
+def random_3sat(rng, num_vars, num_clauses):
+    """Exact-3 clauses near the phase transition: conflict-rich."""
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return clauses
+
+
+class TestWarmCompaction:
+    """Compaction keeps lemmas that mention no retired selector."""
+
+    def _churned_solver(self, rng, num_vars=20, clauses=86):
+        threes = random_3sat(rng, num_vars, clauses)
+        solver = IncrementalSolver(num_vars=num_vars)
+        for clause in threes:
+            solver.add_clause(clause)
+        return threes, solver
+
+    def test_lemmas_survive_compaction(self):
+        rng = random.Random(3)
+        cnf, solver = self._churned_solver(rng)
+        first = solver.solve([])
+        assert first.learned_clauses > 0  # the instance must be nontrivial
+        # Create retirement garbage to give compaction something to do.
+        for _ in range(5):
+            group = solver.new_group()
+            solver.add_clause([1, 2], group=group)
+            solver.retire_group(group)
+        solver.compact()
+        assert solver.stats.lemmas_retained > 0
+        assert solver.solve([]).satisfiable == first.satisfiable
+
+    def test_retired_group_lemmas_are_dropped(self):
+        solver = IncrementalSolver(num_vars=6)
+        solver.add_clause([1, 2])
+        group = solver.new_group()
+        # A contradictory group: solving under it learns lemmas that
+        # carry the group selector.
+        solver.add_clause([3], group=group)
+        solver.add_clause([-3, 4], group=group)
+        solver.add_clause([-4], group=group)
+        assert solver.solve([group]).satisfiable is False
+        solver.retire_group(group)
+        solver.compact()
+        # No kept lemma may mention the retired selector.
+        for lemma in solver._kept_lemmas:
+            assert all(abs(lit) != group for lit in lemma)
+        assert solver.solve([]).satisfiable is True
+
+    def test_warmth_measurably_retained(self):
+        # After compaction the solver must not redo all its conflicts.
+        rng = random.Random(8)
+        measured = 0
+        for _ in range(8):
+            _cnf, solver = self._churned_solver(rng)
+            first = solver.solve([])
+            if first.conflicts < 4:
+                continue  # too easy to measure warmth on
+            solver.compact()
+            assert solver.stats.lemmas_retained > 0
+            second = solver.solve([])
+            assert second.satisfiable == first.satisfiable
+            assert second.conflicts <= first.conflicts
+            measured += 1
+        assert measured > 0
+
+    def test_compaction_matches_brute_force_after_retention(self):
+        rng = random.Random(53)
+        for trial in range(15):
+            base = random_cnf(rng, 7, rng.randint(6, 20))
+            solver = IncrementalSolver(num_vars=7)
+            for clause in base.clauses():
+                solver.add_clause(clause)
+            solver.solve([])
+            for _ in range(3):
+                group = solver.new_group()
+                extra = random_cnf(rng, 7, rng.randint(1, 4))
+                for clause in extra.clauses():
+                    solver.add_clause(clause, group=group)
+                solver.solve([group])
+                solver.retire_group(group)
+            solver.compact()
+            expected = brute_force_solve(base) is not None
+            assert solver.solve([]).satisfiable == expected, trial
+
+
+class TestModelCache:
+    def test_identical_resolve_is_memoized(self):
+        solver = IncrementalSolver(num_vars=4)
+        solver.add_clause([1, 2])
+        solver.add_clause([-2, 3])
+        first = solver.solve([1])
+        again = solver.solve([1])
+        assert again.satisfiable == first.satisfiable
+        assert again.assignment == first.assignment
+        assert solver.stats.model_cache_hits == 1
+        assert again.conflicts == 0 and again.propagations == 0
+
+    def test_cache_invalidated_by_new_clause(self):
+        solver = IncrementalSolver(num_vars=2)
+        solver.add_clause([1, 2])
+        assert solver.solve([]).satisfiable is True
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve([]).satisfiable is False
+        assert solver.stats.model_cache_hits == 0
+
+    def test_cache_respects_assumption_change(self):
+        solver = IncrementalSolver(num_vars=2)
+        solver.add_clause([1, 2])
+        assert solver.solve([-1]).satisfiable is True
+        assert solver.solve([-2]).satisfiable is True
+        assert solver.solve([-1, -2]).satisfiable is False
+        assert solver.stats.model_cache_hits == 0
+
+    def test_cache_invalidated_by_group_retirement(self):
+        solver = IncrementalSolver(num_vars=1)
+        group = solver.new_group()
+        solver.add_clause([1], group=group)
+        assert solver.solve([group]).satisfiable is True
+        solver.retire_group(group)  # adds the -selector unit
+        assert solver.solve([group]).satisfiable is False
+
+
+class TestClone:
+    def test_clone_is_equivalent_and_independent(self):
+        rng = random.Random(8)
+        cnf = random_cnf(rng, 10, 40)
+        solver = IncrementalSolver(num_vars=10)
+        for clause in cnf.clauses():
+            solver.add_clause(clause)
+        group = solver.new_group()
+        solver.add_clause([1, 2], group=group)
+        first = solver.solve([group])
+        dup = solver.clone()
+        assert dup.solve([group]).satisfiable == first.satisfiable
+        # Diverge the clone; the original must be unaffected.
+        dup.add_clause([-1])
+        dup.add_clause([-2])
+        dup_result = dup.solve([group])
+        assert dup_result.satisfiable is False
+        assert solver.solve([group]).satisfiable == first.satisfiable
+
+    def test_clone_preserves_group_machinery(self):
+        solver = IncrementalSolver(num_vars=2)
+        group = solver.new_group()
+        aux = solver.new_var(group)
+        solver.add_clause([1, aux], group=group)
+        dup = solver.clone()
+        dup.retire_group(group)
+        recycled = dup.new_var()
+        assert recycled == aux  # recycling pool carried over
+        # The original still has the group live.
+        assert solver.solve([group, -1, -aux]).satisfiable is False
+
+    def test_clone_matches_brute_force_after_divergence(self):
+        rng = random.Random(12)
+        base = random_cnf(rng, 6, 12)
+        solver = IncrementalSolver(num_vars=6)
+        for clause in base.clauses():
+            solver.add_clause(clause)
+        solver.solve([])
+        dup = solver.clone()
+        extra = random_cnf(rng, 6, 5)
+        combined = base.copy()
+        for clause in extra.clauses():
+            dup.add_clause(clause)
+            combined.add_clause(clause)
+        assert (
+            dup.solve([]).satisfiable
+            == (brute_force_solve(combined) is not None)
+        )
+        assert (
+            solver.solve([]).satisfiable
+            == (brute_force_solve(base) is not None)
+        )
+
+
+class TestBranchBookkeeping:
+    def test_no_vsids_mode_still_solves(self):
+        # The no-VSIDS path now serves decisions from the zero-activity
+        # heap; cross-check against brute force.
+        rng = random.Random(77)
+        for trial in range(25):
+            cnf = random_cnf(rng, rng.randint(3, 8), rng.randint(3, 16))
+            got = SatSolver(cnf, enable_vsids=False).solve().satisfiable
+            expected = brute_force_solve(cnf) is not None
+            assert got == expected, trial
+
+    def test_assigned_counter_stays_consistent(self):
+        solver = SatSolver(CNF(4))
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        for _ in range(3):
+            result = solver.solve()
+            assert result.satisfiable is True
+            # Post-solve the trail holds only level-0 facts.
+            assert solver._num_assigned == len(solver.trail)
+
+    def test_model_cache_does_not_survive_compaction_collisions(self):
+        # Regression: compact() rebuilds the core solver, restarting
+        # its generation counter; clauses added afterwards could raise
+        # it back to exactly the memoized generation, resurrecting a
+        # stale model that violates the new clauses.
+        solver = IncrementalSolver(num_vars=2)
+        for _ in range(16):
+            solver.add_clause([1, 2])
+        group = solver.new_group()
+        solver.add_clause([1, 2], group=group)
+        first = solver.solve([group])
+        assert first.satisfiable is True
+        true_var = next(
+            var for var, value in sorted(first.assignment.items()) if value
+        )
+        solver.compact()
+        # Forbid the memoized model; enough add_clause calls may bring
+        # the rebuilt generation back to the memoized value.
+        solver.add_clause([-true_var])
+        result = solver.solve([group])
+        assert result.satisfiable is True
+        assert result.assignment[true_var] is False

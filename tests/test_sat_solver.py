@@ -1,8 +1,7 @@
 """Tests for the CDCL SAT solver against hand-built and random formulas."""
 
-import pytest
 
-from repro.sat.brute import brute_force_solve, count_models
+from repro.sat.brute import brute_force_solve
 from repro.sat.cnf import CNF
 from repro.sat.solver import SatSolver, _luby, solve
 from repro.sim.random import DeterministicRandom

@@ -1,0 +1,344 @@
+"""Tests for cross-switch shared probe-generation contexts.
+
+Covers table fingerprinting, registry dedup/acquire semantics, the
+replicated-churn operation log, per-switch rule/cookie overlays, and —
+most importantly — the byte-equivalence property: a deduped fleet must
+produce exactly the probes per-switch independent generation would
+have produced, across randomized churn, including the copy-on-churn
+fork path (where a diverging switch leaves without affecting its
+siblings).
+"""
+
+import random
+
+import pytest
+
+from repro.core.probegen import ProbeGenContext, ProbeGenerator, verify_probe
+from repro.core.shared import (
+    SharedContextRegistry,
+    generator_key,
+    table_fingerprint,
+)
+from repro.openflow.actions import drop, output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.rule import Rule
+
+CATCH = Match.build(dl_vlan=0xF03)
+
+
+def _generator() -> ProbeGenerator:
+    return ProbeGenerator(catch_match=CATCH)
+
+
+def _rule(priority: int, dst: int, actions=None) -> Rule:
+    return Rule(
+        priority=priority,
+        match=Match.build(nw_dst=dst),
+        actions=actions if actions is not None else output(1),
+    )
+
+
+def _probe_bytes(result):
+    """The per-switch-visible identity of a probe result."""
+    return (
+        result.ok,
+        result.reason,
+        result.packet,
+        None
+        if result.header is None
+        else tuple(sorted(result.header.items())),
+        result.outcome_present,
+        result.outcome_absent,
+    )
+
+
+class TestFingerprint:
+    def test_cookie_free(self):
+        a = [_rule(10, 0x0A000001), _rule(20, 0x0A000002)]
+        b = [
+            Rule(priority=r.priority, match=r.match, actions=r.actions)
+            for r in a
+        ]
+        assert all(x.cookie != y.cookie for x, y in zip(a, b))
+        assert table_fingerprint(a) == table_fingerprint(b)
+
+    def test_sensitive_to_priority_match_actions(self):
+        base = [_rule(10, 0x0A000001)]
+        assert table_fingerprint(base) != table_fingerprint(
+            [_rule(11, 0x0A000001)]
+        )
+        assert table_fingerprint(base) != table_fingerprint(
+            [_rule(10, 0x0A000002)]
+        )
+        assert table_fingerprint(base) != table_fingerprint(
+            [_rule(10, 0x0A000001, actions=output(2))]
+        )
+        assert table_fingerprint(base) != table_fingerprint(
+            [_rule(10, 0x0A000001, actions=drop())]
+        )
+
+    def test_generator_key_separates_configs(self):
+        assert generator_key(_generator()) == generator_key(_generator())
+        other = ProbeGenerator(catch_match=Match.build(dl_vlan=0xF04))
+        assert generator_key(_generator()) != generator_key(other)
+        ported = ProbeGenerator(catch_match=CATCH, valid_in_ports=(1, 2))
+        assert generator_key(_generator()) != generator_key(ported)
+
+
+class TestRegistry:
+    def test_identical_acquires_share(self):
+        registry = SharedContextRegistry()
+        rules = [_rule(10, 0x0A000001)]
+        h1 = registry.acquire(_generator(), rules=rules)
+        h2 = registry.acquire(_generator(), rules=list(rules))
+        assert h1.table is h2.table
+        assert h1.is_shared and h2.is_shared
+        assert registry.stats.contexts_created == 1
+        assert registry.stats.contexts_deduped == 1
+
+    def test_different_tables_do_not_share(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator(), rules=[_rule(10, 0x0A000001)])
+        h2 = registry.acquire(_generator(), rules=[_rule(10, 0x0A000002)])
+        assert h1.table is not h2.table
+        assert registry.stats.contexts_created == 2
+
+    def test_churned_entry_is_not_joinable(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h1.add_rule(_rule(10, 0x0A000001))
+        h2 = registry.acquire(_generator())
+        assert h1.table is not h2.table
+        assert registry.stats.contexts_created == 2
+
+    def test_replicated_ops_stay_shared(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        for handle in (h1, h2):
+            handle.add_rule(_rule(10, 0x0A000001))
+        assert h1.is_shared and h2.is_shared
+        assert len(h1.table) == 1
+        assert registry.stats.contexts_forked == 0
+        # Per-switch stats both record the install.
+        assert h1.stats.rules_added == h2.stats.rules_added == 1
+
+    def test_divergent_op_forks_diverger_and_rewinds_for_sibling(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        shared_table = h1.table
+        rule = _rule(10, 0x0A000001)
+        h1.add_rule(rule)
+        h2.add_rule(rule)
+        h2.add_rule(_rule(20, 0x0A000002))  # private op at the head
+        # A mere read never sees h2's private rule (and never forks):
+        # the sibling serves its own table while behind.
+        assert len(h1.table) == 1
+        assert not h1.forked and not h2.forked
+        # Persistent behind-ness resolves the divergence: the rewind
+        # machinery warm-forks h2 off and rolls its private op back.
+        for _ in range(h1.MAX_BEHIND_PROBES + 1):
+            h1.probe_for(rule)
+        assert h2.forked and not h1.forked
+        assert h2.table is not shared_table
+        assert h1.table is shared_table
+        assert len(h1.table) == 1 and len(h2.table) == 2
+        assert registry.stats.contexts_forked == 1
+        assert registry.stats.warm_forks == 1
+        assert registry.stats.rewinds == 1
+        # The forked switch keeps evolving independently.
+        h2.add_rule(_rule(30, 0x0A000003))
+        assert len(h1.table) == 1 and len(h2.table) == 3
+
+    def test_behind_divergent_op_rewinds_and_keeps_sharing(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        h1.add_rule(_rule(10, 0x0A000001))
+        h1.add_rule(_rule(20, 0x0A000002))
+        # h2 never applied h1's ops; its first op diverges while
+        # behind.  h1 (the ahead replica) is at the head, so it
+        # warm-forks away and the shared context rewinds for h2.
+        h2.add_rule(_rule(30, 0x0A000003))
+        assert h1.forked and not h2.forked
+        assert [r.priority for r in h2.table] == [30]
+        assert [r.priority for r in h1.table] == [20, 10]
+        assert registry.stats.warm_forks == 1
+        assert registry.stats.rewinds == 1
+
+    def test_behind_reads_and_probes_never_fork_an_inflight_wave(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        rule = _rule(10, 0x0A000001)
+        for handle in (h1, h2):
+            handle.add_rule(rule)
+        # h1 runs ahead with a wave op; h2 reads and probes before
+        # applying it — private view, from-scratch probe, NO fork.
+        wave = _rule(20, 0x0A000002)
+        h1.add_rule(wave)
+        assert [r.priority for r in h2.table] == [10]
+        result = h2.probe_for(rule)
+        assert result.ok
+        assert not h1.forked and not h2.forked
+        assert h1.is_shared and h2.is_shared
+        # The wave lands on h2: replicas re-converge, still sharing,
+        # zero forks — the scenario read-triggered rewinds used to
+        # destroy.
+        h2.add_rule(wave)
+        assert registry.stats.contexts_forked == 0
+        assert registry.stats.rewinds == 0
+        assert len(h2.table) == 2 and h2.table is h1.table
+
+    def test_cookie_overlay_preserves_per_switch_identity(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        r1 = _rule(10, 0x0A000001)
+        r2 = Rule(priority=10, match=r1.match, actions=r1.actions)
+        h1.add_rule(r1)
+        h2.add_rule(r2)
+        # The shared table holds h1's object; each handle's probe
+        # result must still carry its *own* rule (cookie attribution).
+        table_rule = h2.table.get(10, r1.match)
+        assert table_rule.cookie == r1.cookie
+        result2 = h2.probe_for(table_rule)
+        assert result2.rule.cookie == r2.cookie
+        result1 = h1.probe_for(table_rule)
+        assert result1.rule.cookie == r1.cookie
+        # ... and beyond the rule identity the probes are the same.
+        assert _probe_bytes(result1) == _probe_bytes(result2)
+
+    def test_sibling_cache_hits_are_counted_per_switch(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        rule = _rule(10, 0x0A000001)
+        for handle in (h1, h2):
+            handle.add_rule(rule)
+        h1.probe_for(rule)
+        h2.probe_for(rule)
+        assert h1.stats.probes_generated == 1
+        assert h2.stats.probes_generated == 0
+        assert h2.stats.cache_hits == 1
+
+
+def _random_ops(rng, pool):
+    """One random churn operation as (op-kind, spec) on the rule pool."""
+    kind = rng.choice(("add", "remove", "modify"))
+    dst = 0x0A000000 + rng.choice(pool)
+    priority = 100 + (dst % 7) * 10
+    if kind == "add":
+        actions = output(1, nw_tos=8 * rng.randint(0, 3)) \
+            if rng.random() < 0.7 else drop()
+        return ("add", priority, dst, actions)
+    if kind == "remove":
+        return ("remove", priority, dst, None)
+    return ("modify", priority, dst, output(1, nw_tos=8 * rng.randint(0, 3)))
+
+
+def _apply_spec(target, spec):
+    kind, priority, dst, actions = spec
+    match = Match.build(nw_dst=dst)
+    if kind == "add":
+        target.add_rule(
+            Rule(priority=priority, match=match, actions=actions)
+        )
+    elif kind == "remove":
+        target.remove_rule(
+            Rule(priority=priority, match=match, actions=drop())
+        )
+    else:
+        target.apply_flowmod(
+            FlowMod(
+                command=FlowModCommand.MODIFY,
+                match=match,
+                priority=priority,
+                actions=actions,
+            )
+        )
+
+
+class TestEquivalenceProperty:
+    """Deduped generation == independent generation, byte for byte."""
+
+    NUM_SWITCHES = 3
+
+    def _run(self, seed: int, steps: int, diverge_at: int | None = None):
+        rng = random.Random(seed)
+        pool = [rng.randrange(1, 1 << 20) for _ in range(12)]
+        hot = Rule(
+            priority=5000,
+            match=Match.build(nw_dst=(0x0A000000, 8)),
+            actions=output(1),
+        )
+
+        registry = SharedContextRegistry()
+        handles = [
+            registry.acquire(_generator()) for _ in range(self.NUM_SWITCHES)
+        ]
+        independents = [
+            ProbeGenContext(_generator()) for _ in range(self.NUM_SWITCHES)
+        ]
+        for target in handles + independents:
+            target.add_rule(hot)
+
+        def check_probes():
+            for index in range(self.NUM_SWITCHES):
+                rules = handles[index].table.rules()
+                assert (
+                    [r.key() for r in rules]
+                    == [r.key() for r in independents[index].table.rules()]
+                )
+                for rule in rules:
+                    # Probe each context with its *own* table's rule
+                    # object so both sides exercise their caches the
+                    # same way (cache identity includes the cookie).
+                    solo_rule = independents[index].table.get(*rule.key())
+                    shared_result = handles[index].probe_for(rule)
+                    solo_result = independents[index].probe_for(solo_rule)
+                    assert _probe_bytes(shared_result) == _probe_bytes(
+                        solo_result
+                    ), (seed, index, rule)
+                    if shared_result.ok:
+                        valid, why = verify_probe(
+                            handles[index].table,
+                            rule,
+                            shared_result.header,
+                            CATCH,
+                        )
+                        assert valid, why
+
+        check_probes()
+        for step in range(steps):
+            if diverge_at is not None and step == diverge_at:
+                # One switch receives its own private operation.
+                spec = ("add", 4000, 0x0A0F0000 + step, output(1))
+                _apply_spec(handles[-1], spec)
+                _apply_spec(independents[-1], spec)
+            spec = _random_ops(rng, pool)
+            for index in range(self.NUM_SWITCHES):
+                _apply_spec(handles[index], spec)
+                _apply_spec(independents[index], spec)
+            check_probes()
+        return registry, handles
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_replicated_churn_byte_equivalence(self, seed):
+        registry, handles = self._run(seed, steps=12)
+        assert registry.stats.contexts_forked == 0
+        assert all(handle.is_shared for handle in handles)
+        # The dedup actually saved solver work: siblings hit the cache.
+        total_hits = sum(h.stats.cache_hits for h in handles)
+        assert total_hits > 0
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_divergence_forks_and_stays_byte_equivalent(self, seed):
+        registry, handles = self._run(seed, steps=10, diverge_at=4)
+        assert registry.stats.contexts_forked == 1
+        assert registry.stats.warm_forks == 1  # diverged at the log head
+        assert handles[-1].forked
+        # Siblings keep sharing, untouched by the fork.
+        assert all(h.is_shared for h in handles[:-1])

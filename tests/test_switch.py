@@ -3,7 +3,7 @@ semantics, barriers under each behaviour model, rate limits, faults."""
 
 import pytest
 
-from repro.openflow.actions import drop, output
+from repro.openflow.actions import output
 from repro.openflow.fields import FieldName
 from repro.openflow.match import Match
 from repro.openflow.messages import (
@@ -50,7 +50,9 @@ def add_mod(dst, port, priority=10):
 class TestApplyFlowmod:
     def table(self):
         table = FlowTable(check_overlap=False)
-        table.install(Rule(priority=5, match=Match.build(nw_dst=1), actions=output(1)))
+        table.install(
+            Rule(priority=5, match=Match.build(nw_dst=1), actions=output(1))
+        )
         return table
 
     def test_add(self):
@@ -72,8 +74,20 @@ class TestApplyFlowmod:
 
     def test_modify_nonstrict_covers(self):
         table = FlowTable(check_overlap=False)
-        table.install(Rule(priority=5, match=Match.build(nw_dst=(0x0A000000, 24)), actions=output(1)))
-        table.install(Rule(priority=6, match=Match.build(nw_dst=(0x0B000000, 24)), actions=output(1)))
+        table.install(
+            Rule(
+                priority=5,
+                match=Match.build(nw_dst=(0x0A000000, 24)),
+                actions=output(1),
+            )
+        )
+        table.install(
+            Rule(
+                priority=6,
+                match=Match.build(nw_dst=(0x0B000000, 24)),
+                actions=output(1),
+            )
+        )
         mod = FlowMod(
             command=FlowModCommand.MODIFY,
             match=Match.build(nw_dst=(0x0A000000, 8)),
@@ -81,8 +95,12 @@ class TestApplyFlowmod:
             actions=output(7),
         )
         apply_flowmod(table, mod)
-        assert table.lookup({FieldName.NW_DST: 0x0A000001}).forwarding_set() == {7}
-        assert table.lookup({FieldName.NW_DST: 0x0B000001}).forwarding_set() == {1}
+        assert table.lookup(
+            {FieldName.NW_DST: 0x0A000001}
+        ).forwarding_set() == {7}
+        assert table.lookup(
+            {FieldName.NW_DST: 0x0B000001}
+        ).forwarding_set() == {1}
 
     def test_modify_without_target_adds(self):
         table = FlowTable(check_overlap=False)
@@ -253,7 +271,11 @@ class TestDataPlane:
 
         sim, switch, received = make_switch()
         switch.install_directly(
-            Rule(priority=5, match=Match.build(nw_dst=7), actions=output(CONTROLLER_PORT))
+            Rule(
+                priority=5,
+                match=Match.build(nw_dst=7),
+                actions=output(CONTROLLER_PORT),
+            )
         )
         switch.inject(self.craft(7), in_port=4)
         sim.run_for(0.1)
@@ -278,7 +300,11 @@ class TestDataPlane:
         )
         sim, switch, received = make_switch(profile=slow)
         switch.install_directly(
-            Rule(priority=5, match=Match.wildcard(), actions=output(CONTROLLER_PORT))
+            Rule(
+                priority=5,
+                match=Match.wildcard(),
+                actions=output(CONTROLLER_PORT),
+            )
         )
         for _ in range(50):
             switch.inject(self.craft(7), in_port=1)
@@ -306,8 +332,12 @@ class TestFaults:
         rule = Rule(priority=5, match=Match.build(nw_dst=7), actions=output(2))
         switch.install_directly(rule)
         switch.corrupt_rule_in_dataplane(rule, output(9))
-        assert switch.dataplane.lookup({FieldName.NW_DST: 7}).forwarding_set() == {9}
-        assert switch.control_table.lookup({FieldName.NW_DST: 7}).forwarding_set() == {2}
+        assert switch.dataplane.lookup(
+            {FieldName.NW_DST: 7}
+        ).forwarding_set() == {9}
+        assert switch.control_table.lookup(
+            {FieldName.NW_DST: 7}
+        ).forwarding_set() == {2}
 
     def test_corrupt_missing_rule_raises(self):
         sim, switch, _ = make_switch()

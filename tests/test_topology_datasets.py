@@ -7,11 +7,13 @@ from repro.datasets import (
     CAMPUS_PROFILE,
     STANFORD_PROFILE,
     campus_table,
-    generate_acl_table,
     stanford_table,
 )
 from repro.openflow.fields import FieldName
-from repro.topology.corpus import rocketfuel_like_corpus, topology_zoo_like_corpus
+from repro.topology.corpus import (
+    rocketfuel_like_corpus,
+    topology_zoo_like_corpus,
+)
 from repro.topology.generators import (
     edge_switches,
     fat_tree,
