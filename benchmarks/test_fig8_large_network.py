@@ -30,7 +30,12 @@ from repro.fleet import RuleChurn, RuleDrop, ScenarioSpec, run_scenario
 from repro.switches.profiles import IDEAL, PICA8
 from repro.topology.generators import fat_tree
 
-from .conftest import bench_scale, bench_seed, print_header
+from .conftest import (
+    bench_scale,
+    bench_seed,
+    print_header,
+    write_bench_artifact,
+)
 
 BATCH_SIZE = 40
 BATCH_INTERVAL = 0.010
@@ -151,8 +156,36 @@ def test_figure8_large_network(benchmark):
         f"(paper: ~350 ms for 2000 paths)"
     )
 
-    # Shape: Monocle completes the whole update, slower than ideal but
-    # in the same regime (sub-second extra, not multiples).
+    path = write_bench_artifact(
+        "fig8",
+        {
+            "bench": "figure8_batched_path_install",
+            "unit": "seconds",
+            "rows": [
+                {
+                    "arm": "ideal_barriers",
+                    "paths": num_paths,
+                    "median_path_s": round(
+                        sorted(ideal)[len(ideal) // 2], 4
+                    ),
+                    "all_paths_s": round(ideal_total, 4),
+                },
+                {
+                    "arm": "pica8_monocle",
+                    "paths": num_paths,
+                    "median_path_s": round(
+                        sorted(monocle)[len(monocle) // 2], 4
+                    ),
+                    "all_paths_s": round(monocle_total, 4),
+                },
+            ],
+            "monocle_delay_ms": round(delta * 1000, 1),
+        },
+    )
+    print(f"artifact: {path}")
+
+    # CI gate (shape): Monocle completes the whole update, slower than
+    # ideal but in the same regime (sub-second extra, not multiples).
     assert delta >= 0.0
     assert monocle_total < 3.0 * ideal_total + 1.0
 

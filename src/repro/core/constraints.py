@@ -217,8 +217,10 @@ class ConstraintCompiler:
             # Both deterministic: EXISTS a common port with a difference.
             all_literals: list[Lit] = []
             for terms in per_port:
-                if terms is True:
-                    return True
+                if isinstance(terms, bool):
+                    if terms:
+                        return True
+                    continue  # pragma: no cover - terms is never False
                 all_literals.extend(terms)
             if not all_literals:
                 return False
@@ -227,8 +229,10 @@ class ConstraintCompiler:
         # ECMP involved: difference required on EVERY common port.
         port_lits: list[Lit] = []
         for terms in per_port:
-            if terms is True:
-                continue
+            if isinstance(terms, bool):
+                if terms:
+                    continue
+                return False  # pragma: no cover - terms is never False
             if not terms:
                 return False
             port_lits.append(clause_or(self.cnf, terms))

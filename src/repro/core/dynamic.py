@@ -37,6 +37,7 @@ from repro.core.probegen import ProbeResult
 from repro.openflow.messages import FlowMod, FlowModCommand, Message, next_xid
 from repro.openflow.rule import Rule
 from repro.openflow.table import FlowTable
+from repro.openflow.tuplespace import TupleSpaceIndex
 
 
 @dataclass
@@ -59,6 +60,8 @@ class PendingUpdate:
     gave_up: bool = False
     #: For drop-postponing: the finalize FlowMod to send after confirm.
     finalize: FlowMod | None = None
+    #: Key in the monitor's unconfirmed-update overlap index.
+    token: int = 0
 
 
 class DynamicMonitor:
@@ -82,6 +85,15 @@ class DynamicMonitor:
         self.queue: list[FlowMod] = []
         self.updates_confirmed = 0
         self.updates_given_up = 0
+        #: Tuple-space indexes over the in-flight update matches, so the
+        #: per-FlowMod "does this overlap anything unconfirmed?" check
+        #: visits O(overlap candidates) instead of scanning the whole
+        #: pending list + queue.  Tokens identify entries; an update's
+        #: token is dropped the moment it confirms or gives up.
+        self._next_token = 0
+        self._unconfirmed = TupleSpaceIndex()
+        self._queued_matches = TupleSpaceIndex()
+        self._queue_tokens: list[int] = []
 
     # ----- controller-facing entry point ------------------------------------
 
@@ -91,18 +103,36 @@ class DynamicMonitor:
             self.monitor.from_controller(msg)
             return
         if self._overlaps_unconfirmed(msg):
-            self.queue.append(msg)
+            self._enqueue(msg)
             return
         self._start_update(msg)
 
     def _overlaps_unconfirmed(self, mod: FlowMod) -> bool:
-        for update in self.pending:
-            if not update.confirmed and update.mod.match.overlaps(mod.match):
-                return True
-        for queued in self.queue:
-            if queued.match.overlaps(mod.match):
-                return True
-        return False
+        value, mask = mod.match.packed()
+        return bool(self._unconfirmed.query(value, mask)) or bool(
+            self._queued_matches.query(value, mask)
+        )
+
+    # ----- in-flight bookkeeping --------------------------------------------
+
+    def _enqueue(self, mod: FlowMod) -> None:
+        self._next_token += 1
+        token = self._next_token
+        self.queue.append(mod)
+        self._queue_tokens.append(token)
+        self._queued_matches.add(token, *mod.match.packed())
+
+    def _track(self, update: PendingUpdate) -> None:
+        """Register a started update in pending + the overlap index."""
+        self._next_token += 1
+        update.token = self._next_token
+        self.pending.append(update)
+        self._unconfirmed.add(update.token, *update.mod.match.packed())
+
+    def _give_up(self, update: PendingUpdate) -> None:
+        update.gave_up = True
+        self.updates_given_up += 1
+        self._unconfirmed.discard(update.token)
 
     # ----- update lifecycle ------------------------------------------------
 
@@ -130,7 +160,7 @@ class DynamicMonitor:
         rule = self.monitor.expected.get(mod.priority, mod.match)
         assert rule is not None
         update = PendingUpdate(mod=mod, started=self.sim.now, remaining=1)
-        self.pending.append(update)
+        self._track(update)
         result = self.monitor.probe_for_rule(rule)
         if not result.ok:
             # Unmonitorable update: acknowledge optimistically but count it.
@@ -169,7 +199,7 @@ class DynamicMonitor:
         update = PendingUpdate(
             mod=mod, started=self.sim.now, remaining=1, finalize=finalize
         )
-        self.pending.append(update)
+        self._track(update)
         result = self.monitor.probe_for_rule(tracked)
         if not result.ok:
             self._confirm_piece(update, monitorable=False)
@@ -186,7 +216,7 @@ class DynamicMonitor:
         result = self._modification_probe(old_rule, new_rule)
         self.monitor.from_controller(mod)
         update = PendingUpdate(mod=mod, started=self.sim.now, remaining=1)
-        self.pending.append(update)
+        self._track(update)
         if result is None or not result.ok:
             self._confirm_piece(update, monitorable=False)
             return
@@ -228,11 +258,9 @@ class DynamicMonitor:
             target = self.monitor.expected.get(mod.priority, mod.match)
             doomed = [target] if target is not None else []
         else:
-            doomed = [
-                r
-                for r in self.monitor.expected.rules()
-                if mod.match.covers(r.match)
-            ]
+            # Index-pruned: coverage implies overlap, so the candidate
+            # pool is the overlap set, not the whole expected table.
+            doomed = self.monitor.expected.covered_rules(mod.match)
         probes: list[ProbeResult] = []
         for rule in doomed:
             probes.append(self.monitor.probe_for_rule(rule))
@@ -240,7 +268,7 @@ class DynamicMonitor:
         update = PendingUpdate(
             mod=mod, started=self.sim.now, remaining=max(1, len(doomed))
         )
-        self.pending.append(update)
+        self._track(update)
         if not doomed:
             self._confirm_piece(update, monitorable=False)
             return
@@ -283,6 +311,8 @@ class DynamicMonitor:
         the reliable variant.
         """
         config = self.monitor.config
+        assert result.outcome_present is not None
+        assert result.outcome_absent is not None
         target_obs = (
             outcome_observations(
                 result.outcome_present, self.monitor.observable_ports
@@ -300,8 +330,7 @@ class DynamicMonitor:
             def gave_up(_probe: OutstandingProbe, _kind: str) -> None:
                 if update.confirmed or update.gave_up:
                     return
-                update.gave_up = True
-                self.updates_given_up += 1
+                self._give_up(update)
 
             self.monitor.launch_probe(
                 result,
@@ -324,8 +353,7 @@ class DynamicMonitor:
             if update.confirmed or update.gave_up:
                 return
             if self.sim.now - update.started > config.update_deadline:
-                update.gave_up = True
-                self.updates_given_up += 1
+                self._give_up(update)
                 return
             attempt[0] += 1
             delay = min(
@@ -352,6 +380,7 @@ class DynamicMonitor:
             return
         update.confirmed = True
         self.updates_confirmed += 1
+        self._unconfirmed.discard(update.token)
         if update.finalize is not None:
             # Drop-postponing: swap the real drop rule in (§4.3).
             self.monitor.from_controller(update.finalize)
@@ -367,26 +396,35 @@ class DynamicMonitor:
         self._drain_queue()
 
     def _drain_queue(self) -> None:
-        """Release queued FlowMods that no longer overlap anything."""
+        """Release queued FlowMods that no longer overlap anything.
+
+        Per-mod blocking checks run against the unconfirmed-update
+        index plus an index of the mods already seen this pass (queue
+        order is preserved: a released mod still blocks later
+        overlapping ones, exactly as the old linear scan did).
+        """
         self.pending = [
             u for u in self.pending if not (u.confirmed or u.gave_up)
         ]
         if not self.queue:
             return
         still_queued: list[FlowMod] = []
+        still_tokens: list[int] = []
         released: list[FlowMod] = []
-        for mod in self.queue:
-            blocked = any(
-                not u.confirmed and u.mod.match.overlaps(mod.match)
-                for u in self.pending
-            ) or any(
-                q.match.overlaps(mod.match)
-                for q in released + still_queued
+        ahead = TupleSpaceIndex()
+        for token, mod in zip(self._queue_tokens, self.queue):
+            value, mask = mod.match.packed()
+            blocked = bool(self._unconfirmed.query(value, mask)) or bool(
+                ahead.query(value, mask)
             )
+            ahead.add(token, value, mask)
             if blocked:
                 still_queued.append(mod)
+                still_tokens.append(token)
             else:
                 released.append(mod)
+                self._queued_matches.discard(token)
         self.queue = still_queued
+        self._queue_tokens = still_tokens
         for mod in released:
             self._start_update(mod)

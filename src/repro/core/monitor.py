@@ -20,7 +20,7 @@ constraint guarantees the two sets cannot coincide.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.core.probegen import (
@@ -37,7 +37,7 @@ from repro.openflow.table import FlowTable
 from repro.packets.craft import wire_visible_items
 from repro.packets.parse import ParseError, parse_packet
 from repro.packets.payload import ProbeMetadata
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Event, Simulator
 
 _nonce_counter = itertools.count(1)
 
@@ -108,7 +108,7 @@ class OutstandingProbe:
     absent_obs: frozenset[Observation]
     first_injected: float
     retries_left: int
-    timeout_event: object | None = None
+    timeout_event: Event | None = None
     on_confirm: Callable[["OutstandingProbe"], None] | None = None
     on_alarm: Callable[["OutstandingProbe", str], None] | None = None
     #: "present" (steady state / additions) or "absent" (deletions).
@@ -247,6 +247,8 @@ class Monitor:
     def _check_observability(self, result: ProbeResult) -> ProbeResult:
         """Demote probes whose outcomes can't be told apart from what
         Monocle can actually observe (egress rules, §3.5)."""
+        assert result.outcome_present is not None
+        assert result.outcome_absent is not None
         present = outcome_observations(
             result.outcome_present, self.observable_ports
         )
@@ -363,6 +365,8 @@ class Monitor:
                 probes back off while the switch control queue drains.
         """
         assert result.ok and result.header is not None
+        assert result.outcome_present is not None
+        assert result.outcome_absent is not None
         nonce = next(_nonce_counter)
         if present_obs is None:
             present_obs = outcome_observations(
@@ -413,6 +417,8 @@ class Monitor:
     def _inject(self, probe: OutstandingProbe) -> None:
         if self.inject_probe is None:
             return
+        assert probe.result.header is not None
+        assert probe.result.outcome_present is not None
         metadata = ProbeMetadata(
             switch_id=self.switch_number,
             rule_cookie=probe.result.rule.cookie,

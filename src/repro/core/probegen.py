@@ -38,11 +38,13 @@ from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod
 from repro.openflow.rule import Rule, RuleOutcome
 from repro.openflow.table import FlowTable
+from repro.openflow.tuplespace import TupleSpaceIndex
 from repro.packets.craft import (
     CraftError,
     craft_packet,
     normalize_abstract_header,
 )
+from repro.sat.cnf import CNF
 from repro.sat.incremental import IncrementalSolver
 from repro.sat.solver import SatSolver
 
@@ -172,6 +174,7 @@ class ProbeGenerator:
         if self.valid_in_ports is not None:
             compiler.assert_value_in(FieldName.IN_PORT, self.valid_in_ports)
 
+        assert isinstance(compiler.cnf, CNF)  # no sink: plain formula
         solver = SatSolver(compiler.cnf)
         sat = solver.solve(max_conflicts=self.max_conflicts)
 
@@ -405,6 +408,10 @@ class ProbeGenContext:
         self.stats = ProbeGenContextStats()
         self._cache: dict[tuple[int, Match], ProbeResult] = {}
         self._stale: set[tuple[int, Match]] = set()
+        #: Tuple-space index over the cached probes' rule matches, so a
+        #: churn event stale-marks O(overlapping cache entries) instead
+        #: of scanning the whole cache (mirrors ``_cache`` exactly).
+        self._cache_index = TupleSpaceIndex()
         self._fresh_engine()
 
     def _fresh_engine(self) -> None:
@@ -504,16 +511,22 @@ class ProbeGenContext:
         """
         self._cache.pop(key, None)
         self._stale.discard(key)
+        self._cache_index.discard(key)
         if key in self._chains:
             self._retire_chain(key)
 
     def _invalidate(self, match: Match) -> None:
-        """Stale-mark cached probes whose rule intersects ``match``."""
-        for key, cached in self._cache.items():
-            if key in self._stale:
-                continue
-            if cached.rule.match.overlaps(match):
-                self._stale.add(key)
+        """Stale-mark cached probes whose rule intersects ``match``.
+
+        Served by the cache's tuple-space index: only the overlapping
+        entries are visited, so per-churn invalidation cost tracks the
+        overlap set, not the cache size.
+        """
+        value, mask = match.packed()
+        stale = self._stale
+        for key in self._cache_index.query(value, mask):
+            if key not in stale:
+                stale.add(key)
                 self.stats.invalidations += 1
 
     def clear_cache(self) -> None:
@@ -526,6 +539,7 @@ class ProbeGenContext:
         """
         self._cache.clear()
         self._stale.clear()
+        self._cache_index.clear()
 
     def fork(self) -> "ProbeGenContext":
         """An independent copy of this context (copy-on-churn).
@@ -548,6 +562,7 @@ class ProbeGenContext:
         # objects (not the dicts) across the fork is safe.
         dup._cache = dict(self._cache)
         dup._stale = set(self._stale)
+        dup._cache_index = self._cache_index.copy()
         dup.solver = self.solver.clone()
         dup.encoder = self.encoder.clone(dup.solver)
         dup._chains = dict(self._chains)
@@ -579,6 +594,9 @@ class ProbeGenContext:
             result = self.validate_result(result)
         self._cache[key] = result
         self._stale.discard(key)
+        if key not in self._cache_index:
+            # key == (priority, match): index the rule's packed match.
+            self._cache_index.add(key, *rule.match.packed())
         return result
 
     def _candidates(self, rule: Rule) -> list[Rule]:
@@ -758,11 +776,13 @@ class ProbeGenContext:
                 # incremental solver runs with its internal model check
                 # off; this independent (and cheaper) check replaces it
                 # — a violation is a solver/encoder bug, not user error.
+                header = result.header
+                assert header is not None
                 ordered = sorted(
                     candidates + [rule], key=lambda r: -r.priority
                 )
                 winner = next(
-                    (r for r in ordered if r.match.matches(result.header)),
+                    (r for r in ordered if r.match.matches(header)),
                     None,
                 )
                 if winner is None or winner.key() != rule.key():
@@ -770,7 +790,7 @@ class ProbeGenContext:
                         f"incremental probe for {rule!r} is processed "
                         f"by {winner!r} instead"
                     )
-                if not generator.catch_match.matches(result.header):
+                if not generator.catch_match.matches(header):
                     raise AssertionError(
                         f"incremental probe for {rule!r} misses the "
                         "catching rule"

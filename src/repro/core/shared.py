@@ -50,7 +50,6 @@ every handle validates its own copy.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, fields, replace
 from typing import Callable, Iterable
 
@@ -63,7 +62,15 @@ from repro.core.probegen import (
 from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.openflow.match import Match
 from repro.openflow.rule import Rule
-from repro.openflow.table import FlowTable
+from repro.openflow.table import FlowTable, table_fingerprint
+
+__all__ = [
+    "SharedContextRegistry",
+    "SharedContextStats",
+    "SharedProbeGenContext",
+    "generator_key",
+    "table_fingerprint",
+]
 
 #: Cookie-free value identity of a rule (fingerprints, op signatures).
 RuleSig = tuple
@@ -85,35 +92,18 @@ def _rule_sig(rule: Rule) -> RuleSig:
     return (rule.priority, rule.match, rule.actions)
 
 
-def table_fingerprint(rules: Iterable[Rule]) -> str:
-    """Canonical hash of a flow table's behaviour.
+def _tables_identical(table: Iterable[Rule], rules: Iterable[Rule]) -> bool:
+    """Exact (order-sensitive) cookie-free rule-sequence identity.
 
-    Cookie-free — replicas install semantically identical rules with
-    globally unique cookies — and *order-sensitive* within a priority
-    level, because probe generation consumes rules in table order and
-    byte-equivalent sharing requires identical iteration order.  Rules
-    of distinct priorities hash identically regardless of installation
-    order (the table keeps them priority-sorted).
+    The fingerprint (:func:`~repro.openflow.table.table_fingerprint`,
+    re-exported here) is a commutative multiset hash so tables can
+    maintain it incrementally; within-priority insertion order — which
+    probe generation *does* consume — is therefore not part of it.
+    Every sharing decision double-checks a fingerprint hit with this
+    sequence comparison, so two tables ever share state only when they
+    iterate identically.
     """
-    digest = hashlib.sha256()
-    for rule in rules:
-        value, mask = rule.match.packed()
-        actions = rule.actions
-        item = (
-            rule.priority,
-            value,
-            mask,
-            actions.is_ecmp,
-            tuple(
-                (
-                    po.port,
-                    tuple((name.value, val) for name, val in po.rewrites),
-                )
-                for po in actions.port_outcomes
-            ),
-        )
-        digest.update(repr(item).encode())
-    return digest.hexdigest()
+    return [_rule_sig(r) for r in table] == [_rule_sig(r) for r in rules]
 
 
 def generator_key(generator: ProbeGenerator) -> tuple:
@@ -153,6 +143,12 @@ class SharedContextStats:
     #: Private operations rolled back off a shared context after their
     #: author warm-forked away (keeps the remaining replicas shared).
     rewinds: int = 0
+    #: Forked handles re-attached to a shared context after their
+    #: tables became identical again (churn-quiescence re-dedup).
+    contexts_remerged: int = 0
+    #: Re-fingerprinting sweeps run (each is O(forked + entries) thanks
+    #: to the tables' rolling fingerprints).
+    rededupe_passes: int = 0
 
 
 #: What one rewindable log step restores: for every table key the
@@ -239,12 +235,25 @@ class SharedContextRegistry:
         context_factory: Callable[..., ProbeGenContext] = ProbeGenContext,
     ) -> None:
         self._factory = context_factory
-        #: (generator key, fingerprint) -> entry still in its pristine
-        #: (no operations yet) state; only those are joinable, which is
-        #: exactly the deployment-build pattern where all replicas
-        #: acquire before any churn.
-        self._attachable: dict[tuple, _SharedEntry] = {}
+        #: (generator key, fingerprint) -> entries still in their
+        #: pristine (no operations yet) state; only those are joinable,
+        #: which is exactly the deployment-build pattern where all
+        #: replicas acquire before any churn.  A *list* because the
+        #: multiset fingerprint can collide for tables whose equal-
+        #: priority rules were installed in different orders — each
+        #: candidate is probed with the exact rule-sequence check.
+        self._attachable: dict[tuple, list[_SharedEntry]] = {}
         self.entries: list[_SharedEntry] = []
+        #: Handles that forked off (copy-on-churn); candidates for
+        #: re-merging once their tables converge back (:meth:`rededupe`).
+        self.forked: list["SharedProbeGenContext"] = []
+        #: Total table operations applied through any handle; a caller
+        #: sampling this between ticks gets a churn-quiescence signal.
+        self.churn_ops = 0
+        #: Invoked whenever a handle forks — the fleet deployment uses
+        #: it to (re-)arm its re-dedupe timer only while there is
+        #: something to re-merge.
+        self.on_fork: Callable[[], None] | None = None
         self.stats = SharedContextStats()
 
     def acquire(
@@ -261,13 +270,21 @@ class SharedContextRegistry:
         initial = tuple(rules)
         key = (generator_key(generator), table_fingerprint(initial))
         self.stats.tables_fingerprinted += 1
-        entry = self._attachable.get(key)
-        if entry is not None and not entry.log:
+        entry = next(
+            (
+                candidate
+                for candidate in self._attachable.get(key, ())
+                if not candidate.log
+                and _tables_identical(candidate.context.table, initial)
+            ),
+            None,
+        )
+        if entry is not None:
             self.stats.contexts_deduped += 1
         else:
             table = FlowTable(initial, check_overlap=False)
             entry = _SharedEntry(self._factory(generator, table=table))
-            self._attachable[key] = entry
+            self._attachable.setdefault(key, []).append(entry)
             self.entries.append(entry)
             self.stats.contexts_created += 1
         handle = SharedProbeGenContext(
@@ -282,15 +299,84 @@ class SharedContextRegistry:
         entry.handles.remove(handle)
         if not entry.handles:
             self.entries.remove(entry)
-            for key, candidate in list(self._attachable.items()):
-                if candidate is entry:
-                    del self._attachable[key]
+            self._mark_dirty(entry)
 
     def _mark_dirty(self, entry: _SharedEntry) -> None:
         """An entry that saw operations can no longer be joined."""
-        for key, candidate in list(self._attachable.items()):
-            if candidate is entry:
-                del self._attachable[key]
+        for key, candidates in list(self._attachable.items()):
+            if entry in candidates:
+                candidates.remove(entry)
+                if not candidates:
+                    del self._attachable[key]
+
+    # ----- re-convergence after forks --------------------------------------
+
+    def rededupe(self) -> int:
+        """Re-merge forked handles whose tables converged back.
+
+        A copy-on-churn fork is forever under the base machinery — even
+        when the diverging operation is later reversed and the tables
+        are identical again.  This sweep re-fingerprints every forked
+        handle and live shared entry (O(1) each: the tables maintain
+        rolling fingerprints) and re-attaches matches — first forked ->
+        existing shared entry, then forked <-> forked pairs, where one
+        handle's private context is *promoted* to a fresh shared entry
+        the others join.  Every fingerprint hit is double-checked with
+        an exact rule-sequence comparison before any state is shared.
+
+        Intended to run on a churn-quiescence signal (see
+        :attr:`churn_ops`; the fleet deployment wires a periodic tick).
+        Returns the number of handles re-attached.
+        """
+        self.stats.rededupe_passes += 1
+        if not self.forked:
+            return 0
+        merged = 0
+        entry_by_key: dict[tuple, _SharedEntry] = {}
+        for entry in self.entries:
+            gkey = generator_key(entry.handles[0].generator)
+            entry_by_key[(gkey, entry.context.table.fingerprint())] = entry
+
+        def handle_key(handle: "SharedProbeGenContext") -> tuple:
+            return (
+                generator_key(handle.generator),
+                handle._my_table.fingerprint(),
+            )
+
+        remaining: list[SharedProbeGenContext] = []
+        for handle in self.forked:
+            entry = entry_by_key.get(handle_key(handle))
+            if entry is not None and _tables_identical(
+                entry.context.table, handle._my_table
+            ):
+                handle._reattach(entry)
+                merged += 1
+            else:
+                remaining.append(handle)
+
+        # Forked handles matching each other: promote the first of a
+        # group to a shared entry, attach the rest.
+        groups: dict[tuple, list[SharedProbeGenContext]] = {}
+        for handle in remaining:
+            groups.setdefault(handle_key(handle), []).append(handle)
+        leftovers: list[SharedProbeGenContext] = []
+        for handles in groups.values():
+            if len(handles) < 2:
+                leftovers.extend(handles)
+                continue
+            host = handles[0]
+            entry = host._promote()
+            for other in handles[1:]:
+                if _tables_identical(
+                    entry.context.table, other._my_table
+                ):
+                    other._reattach(entry)
+                    merged += 1
+                else:
+                    leftovers.append(other)
+        self.forked = leftovers
+        self.stats.contexts_remerged += merged
+        return merged
 
 
 class SharedProbeGenContext:
@@ -358,8 +444,8 @@ class SharedProbeGenContext:
         return self._entry is not None and len(self._entry.handles) > 1
 
     def fingerprint(self) -> str:
-        """Fingerprint of the current table (diagnostics)."""
-        return table_fingerprint(self.table)
+        """Fingerprint of the current table (O(1): rolling, diagnostics)."""
+        return self.table.fingerprint()
 
     def _context(self) -> ProbeGenContext:
         if self._own is not None:
@@ -441,6 +527,7 @@ class SharedProbeGenContext:
         op: tuple[str, object],
         run: Callable[[ProbeGenContext], object],
     ) -> None:
+        self._registry.churn_ops += 1
         entry = self._entry
         if entry is None:
             assert self._own is not None
@@ -542,7 +629,47 @@ class SharedProbeGenContext:
         self._entry = None
         self._validated.clear()
         self._registry.stats.contexts_forked += 1
+        self._registry.forked.append(self)
         self._registry._detach(entry, self)
+        if self._registry.on_fork is not None:
+            self._registry.on_fork()
+
+    # ----- re-convergence (registry.rededupe) ------------------------------
+
+    def _reattach(self, entry: _SharedEntry) -> None:
+        """Re-join a shared entry after the tables converged back.
+
+        Only called by :meth:`SharedContextRegistry.rededupe` once the
+        entry's table is rule-sequence-identical to this handle's.  The
+        private context (and its solver) is dropped; future probes are
+        served — and cookie-overlaid, validated per-handle — from the
+        shared context exactly as before the fork.
+        """
+        self._own = None
+        self._entry = entry
+        self._log_pos = entry.head()
+        self.forked = False
+        self._behind_probes = 0
+        self._validated.clear()
+        entry.handles.append(self)
+
+    def _promote(self) -> _SharedEntry:
+        """Turn this forked handle's private context into a shared entry.
+
+        The handle keeps its context (no state is copied or lost); the
+        context merely becomes joinable so sibling forked handles with
+        identical tables can re-attach to it.
+        """
+        assert self._own is not None
+        entry = _SharedEntry(self._own)
+        self._own = None
+        self._entry = entry
+        self._log_pos = 0
+        self.forked = False
+        self._behind_probes = 0
+        entry.handles.append(self)
+        self._registry.entries.append(entry)
+        return entry
 
     # ----- probe serving ---------------------------------------------------
 

@@ -17,6 +17,8 @@ from repro.datasets.acl import (
     STANFORD_PROFILE,
     campus_table,
     generate_acl_table,
+    scaled_profile,
+    sized_acl_table,
     stanford_table,
 )
 
@@ -26,5 +28,7 @@ __all__ = [
     "STANFORD_PROFILE",
     "campus_table",
     "generate_acl_table",
+    "scaled_profile",
+    "sized_acl_table",
     "stanford_table",
 ]

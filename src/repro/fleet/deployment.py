@@ -54,6 +54,11 @@ class FleetDeployment:
             switches with identical tables and compatible generator
             configs (one shared solver per replica group, copy-on-churn
             forking).  On by default; disable for A/B benchmarking.
+        rededupe_interval: how often (sim seconds) to check for churn
+            quiescence and re-merge forked contexts whose tables became
+            identical again (rolling re-fingerprinting; see
+            :meth:`~repro.core.shared.SharedContextRegistry.rededupe`).
+            ``None``/0 disables the sweep.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class FleetDeployment:
         algorithm: ColoringAlgorithm = ColoringAlgorithm.EXACT,
         use_drop_postponing: bool = False,
         share_contexts: bool = True,
+        rededupe_interval: float | None = 0.5,
     ) -> None:
         if topology.number_of_nodes() == 0:
             raise ValueError("cannot deploy a fleet on an empty topology")
@@ -90,6 +96,15 @@ class FleetDeployment:
         self.shared_contexts = (
             SharedContextRegistry() if share_contexts else None
         )
+        self.rededupe_interval = rededupe_interval
+        #: churn_ops sample from the previous tick; a tick that sees
+        #: no new operations treats the fleet as churn-quiescent.
+        self._churn_ops_seen = -1
+        self._rededupe_armed = False
+        if self.shared_contexts is not None and rededupe_interval:
+            # Armed lazily: the timer only runs while forked contexts
+            # exist, so an idle deployment's event queue can drain.
+            self.shared_contexts.on_fork = self._arm_rededupe
         self.system = MonocleSystem(
             self.network,
             plan=plan,
@@ -116,6 +131,37 @@ class FleetDeployment:
     def _handle_upstream(self, node: Hashable, msg: Message) -> None:
         self.controller.handle_message(node, msg)
         self.upstream_messages.append((node, msg))
+
+    def _arm_rededupe(self) -> None:
+        """Schedule the next re-dedupe tick (idempotent)."""
+        if self._rededupe_armed or not self.rededupe_interval:
+            return
+        registry = self.shared_contexts
+        assert registry is not None
+        self._rededupe_armed = True
+        self._churn_ops_seen = registry.churn_ops
+        self.sim.schedule(self.rededupe_interval, self._rededupe_tick)
+
+    def _rededupe_tick(self) -> None:
+        """Re-merge forked contexts once the churn wave has settled.
+
+        Runs every ``rededupe_interval`` while forked contexts exist
+        (armed by the registry's fork hook, disarmed when nothing is
+        left to re-merge); only a tick observing zero new table
+        operations since the previous one (churn quiescence) pays for
+        the re-fingerprinting sweep — and that sweep is O(1) per
+        context thanks to the tables' rolling fingerprints.
+        """
+        registry = self.shared_contexts
+        assert registry is not None
+        self._rededupe_armed = False
+        ops = registry.churn_ops
+        quiescent = ops == self._churn_ops_seen
+        self._churn_ops_seen = ops
+        if quiescent and registry.forked:
+            registry.rededupe()
+        if registry.forked:
+            self._arm_rededupe()
 
     # ----- accessors -------------------------------------------------------
 

@@ -95,6 +95,7 @@ class FleetMetrics:
     contexts_created: int = 0
     contexts_deduped: int = 0
     contexts_forked: int = 0
+    contexts_remerged: int = 0
     #: Stable (time, node, kind, match) tuples for determinism checks.
     alarm_timeline: list[tuple[float, str, str, str]] = field(
         default_factory=list
@@ -235,5 +236,6 @@ def collect_fleet_metrics(
         contexts_created=shared.contexts_created,
         contexts_deduped=shared.contexts_deduped,
         contexts_forked=shared.contexts_forked,
+        contexts_remerged=shared.contexts_remerged,
         alarm_timeline=timeline,
     )

@@ -96,6 +96,7 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
             f"{metrics.tables_fingerprinted} tables "
             f"({metrics.contexts_deduped} deduped, "
             f"{metrics.contexts_forked} forked, "
+            f"{metrics.contexts_remerged} re-merged, "
             f"{shared_now} switches still sharing)"
         )
     if metrics.updates_confirmed or metrics.updates_given_up:

@@ -38,7 +38,13 @@ from repro.openflow.actions import (
     CONTROLLER_PORT,
 )
 from repro.openflow.rule import Rule, RuleOutcome
-from repro.openflow.table import FlowTable, TableMissPolicy
+from repro.openflow.table import (
+    FlowTable,
+    TableMissPolicy,
+    pack_header,
+    table_fingerprint,
+)
+from repro.openflow.tuplespace import TupleSpaceIndex
 from repro.openflow.messages import (
     BarrierReply,
     BarrierRequest,
@@ -74,6 +80,9 @@ __all__ = [
     "RuleOutcome",
     "FlowTable",
     "TableMissPolicy",
+    "TupleSpaceIndex",
+    "pack_header",
+    "table_fingerprint",
     "BarrierReply",
     "BarrierRequest",
     "EchoRequest",

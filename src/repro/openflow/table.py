@@ -6,16 +6,107 @@ leaves overlapping equal-priority rules undefined; following the paper
 
 The table also exposes the queries probe generation needs: rules with
 higher/lower priority than a given rule, and rules overlapping a match
-(§5.4's pre-filter).
+(§5.4's pre-filter).  Two engines serve the overlap queries:
+
+* the default **tuple-space index** (:class:`~repro.openflow.tuplespace.
+  TupleSpaceIndex`): rules bucketed by mask signature, whole buckets
+  pruned by mask compatibility and value bounds, hash hits where the
+  query covers a bucket's mask — O(candidates) on sparse tables,
+  degrading to the packed scan of the overlapping buckets when
+  everything overlaps;
+* a **linear packed scan** (``use_index=False``, the benchmark
+  baseline): one bigint expression per rule over an *incrementally
+  maintained* row cache — adds append, removals tombstone, and the
+  cache compacts when tombstones dominate; churn never triggers a
+  wholesale rebuild (``packed_builds`` stays at 1, regression-tested).
+
+Both engines are maintained through :meth:`FlowTable.install`/
+:meth:`~FlowTable.remove` deltas, and the table additionally keeps a
+**rolling content fingerprint** (:meth:`FlowTable.fingerprint`, O(1) to
+read): the commutative sum of per-rule content hashes, equal by
+construction to the from-scratch :func:`table_fingerprint` of the same
+rules.  The fleet's shared-context registry dedupes on it.
 """
 
 from __future__ import annotations
 
+import hashlib
+from bisect import bisect_left
 from typing import Callable, Iterable, Iterator, Mapping
 
-from repro.openflow.fields import FieldName
+from repro.openflow.fields import HEADER, FieldName
 from repro.openflow.match import Match
 from repro.openflow.rule import Rule, RuleOutcome
+from repro.openflow.tuplespace import TupleSpaceIndex
+
+#: Rule keys: (priority, match) — the OpenFlow identity of a table entry.
+RuleKey = tuple[int, Match]
+
+_FINGERPRINT_MOD = 1 << 256
+
+
+def rule_fingerprint(rule: Rule) -> int:
+    """Cookie-free content hash of one rule (priority, match, actions).
+
+    The commutative building block of :func:`table_fingerprint` and of
+    :meth:`FlowTable.fingerprint`'s rolling accumulator.  Memoized on
+    the (immutable) rule object so fleet churn re-hashes a rule at most
+    once however many tables and copies it passes through.
+    """
+    cached = rule.__dict__.get("_content_hash")
+    if cached is not None:
+        return cached
+    value, mask = rule.match.packed()
+    actions = rule.actions
+    item = (
+        rule.priority,
+        value,
+        mask,
+        actions.is_ecmp,
+        tuple(
+            (
+                po.port,
+                tuple((name.value, val) for name, val in po.rewrites),
+            )
+            for po in actions.port_outcomes
+        ),
+    )
+    digest = hashlib.sha256(repr(item).encode()).digest()
+    result = int.from_bytes(digest, "big")
+    object.__setattr__(rule, "_content_hash", result)  # frozen dataclass
+    return result
+
+
+def table_fingerprint(rules: Iterable[Rule]) -> str:
+    """Canonical, cookie-free hash of a flow table's behaviour.
+
+    A commutative multiset hash over (priority, match, actions) — the
+    sum of :func:`rule_fingerprint` values mod 2**256 — so a table's
+    rolling fingerprint can be maintained in O(1) per add/remove and
+    still equal this from-scratch computation after every operation.
+    Order-insensitive; callers for whom within-priority table order
+    matters (the shared-context registry: probe generation consumes
+    rules in table order) verify rule-sequence identity on top of a
+    fingerprint hit before sharing state.
+    """
+    acc = 0
+    for rule in rules:
+        acc = (acc + rule_fingerprint(rule)) % _FINGERPRINT_MOD
+    return f"{acc:064x}"
+
+
+def pack_header(header_values: Mapping[FieldName, int]) -> int:
+    """The abstract header as one bigint (``Match.packed`` bit layout).
+
+    Absent fields read as 0, mirroring :meth:`Match.matches`.
+    """
+    total = HEADER.total_bits
+    packed = 0
+    for field in HEADER:
+        value = header_values.get(field.name, 0) & field.max_value
+        if value:
+            packed |= value << (total - field.offset - field.width)
+    return packed
 
 
 class TableMissPolicy:
@@ -35,6 +126,11 @@ class FlowTable:
     Rules are kept sorted by descending priority; within one priority the
     order is insertion order (irrelevant for lookup because equal-priority
     overlap is rejected).
+
+    Args:
+        use_index: serve :meth:`overlapping`/:meth:`lookup` from the
+            tuple-space index (default); ``False`` selects the linear
+            packed-scan baseline (itself incrementally maintained).
     """
 
     def __init__(
@@ -42,14 +138,42 @@ class FlowTable:
         rules: Iterable[Rule] = (),
         miss_policy: str = TableMissPolicy.DROP,
         check_overlap: bool = True,
+        use_index: bool = True,
     ) -> None:
         self.miss_policy = miss_policy
         self.check_overlap = check_overlap
+        self.use_index = use_index
         self._rules: list[Rule] = []
-        self._by_key: dict[tuple[int, Match], Rule] = {}
-        #: Lazily built [(packed_value, packed_mask, rule)] for the fast
-        #: overlap scan; None when stale.
-        self._packed_rows: list[tuple[int, int, Rule]] | None = None
+        #: Sort keys (-priority, seq) aligned with ``_rules`` so inserts
+        #: and removals bisect instead of scanning.
+        self._order: list[tuple[int, int]] = []
+        self._by_key: dict[RuleKey, Rule] = {}
+        #: key -> (-priority, seq): the rule's table-order rank.  seq is
+        #: a monotone insertion counter, so within one priority earlier
+        #: installs rank first (exactly the legacy list order).
+        self._rank: dict[RuleKey, tuple[int, int]] = {}
+        #: rank -> rule.  The tuple-space index stores *ranks* as its
+        #: keys: unique, cheap to hash, and — being the table-order sort
+        #: key — directly sortable without a key function.
+        self._by_rank: dict[tuple[int, int], Rule] = {}
+        self._next_seq = 0
+        #: Lazily built tuple-space index (``use_index=True``); counts
+        #: from-scratch builds so tests can assert churn never rebuilds.
+        self._index: TupleSpaceIndex | None = None
+        self.index_builds = 0
+        #: Lazily built linear rows [(value, mask, rule) | None] with
+        #: tombstones (``use_index=False``); same build counter contract.
+        self._packed_rows: list[tuple[int, int, Rule] | None] | None = None
+        self._packed_where: dict[RuleKey, int] = {}
+        self._packed_live = 0
+        self.packed_builds = 0
+        self.packed_compactions = 0
+        #: Rolling content fingerprint (sum of rule_fingerprint mod
+        #: 2^256).  ``None`` until the first :meth:`fingerprint` read:
+        #: transient tables (altered-table probes, FlowMod undo copies)
+        #: never pay per-op hashing; long-lived tables pay one O(N)
+        #: compute on first read, then O(1) per churn op.
+        self._fp_acc: int | None = None
         for rule in rules:
             self.install(rule)
 
@@ -68,30 +192,56 @@ class FlowTable:
             self._replace(existing, rule)
             return
         if self.check_overlap:
-            for other in self._rules:
+            # The overlap query is already the candidate set; only the
+            # equal-priority hits violate footnote 1.
+            for other in self.overlapping(rule.match):
                 if (
                     other.priority == rule.priority
                     and other.match is not rule.match
-                    and other.overlaps(rule)
                 ):
                     raise OverlapError(
                         f"rule {rule!r} overlaps equal-priority {other!r}"
                     )
-        # Insert keeping descending-priority order (stable).
-        index = len(self._rules)
-        for i, other in enumerate(self._rules):
-            if other.priority < rule.priority:
-                index = i
-                break
+        seq = self._next_seq
+        self._next_seq += 1
+        rank = (-rule.priority, seq)
+        index = bisect_left(self._order, rank)
+        self._order.insert(index, rank)
         self._rules.insert(index, rule)
         self._by_key[key] = rule
-        self._packed_rows = None
+        self._rank[key] = rank
+        self._by_rank[rank] = rule
+        if self._fp_acc is not None:
+            self._fp_acc = (self._fp_acc + rule_fingerprint(rule)) % (
+                _FINGERPRINT_MOD
+            )
+        if self._index is not None:
+            value, mask = rule.match.packed()
+            self._index.add(rank, value, mask)
+        if self._packed_rows is not None:
+            value, mask = rule.match.packed()
+            self._packed_where[key] = len(self._packed_rows)
+            self._packed_rows.append((value, mask, rule))
+            self._packed_live += 1
 
     def _replace(self, old: Rule, new: Rule) -> None:
-        index = self._rules.index(old)
+        key = new.key()
+        rank = self._rank[key]
+        index = bisect_left(self._order, rank)
         self._rules[index] = new
-        self._by_key[new.key()] = new
-        self._packed_rows = None
+        self._by_key[key] = new
+        self._by_rank[rank] = new
+        if self._fp_acc is not None:
+            self._fp_acc = (
+                self._fp_acc - rule_fingerprint(old) + rule_fingerprint(new)
+            ) % _FINGERPRINT_MOD
+        # The tuple-space index stores only (key, packed match) — both
+        # unchanged on a same-key replace.  Linear rows hold the rule.
+        if self._packed_rows is not None:
+            row_index = self._packed_where[key]
+            row = self._packed_rows[row_index]
+            assert row is not None
+            self._packed_rows[row_index] = (row[0], row[1], new)
 
     def remove(self, rule: Rule) -> bool:
         """Remove the rule with this rule's (priority, match) key.
@@ -102,9 +252,34 @@ class FlowTable:
         existing = self._by_key.pop(key, None)
         if existing is None:
             return False
-        self._rules.remove(existing)
-        self._packed_rows = None
+        rank = self._rank.pop(key)
+        del self._by_rank[rank]
+        index = bisect_left(self._order, rank)
+        del self._order[index]
+        del self._rules[index]
+        if self._fp_acc is not None:
+            self._fp_acc = (self._fp_acc - rule_fingerprint(existing)) % (
+                _FINGERPRINT_MOD
+            )
+        if self._index is not None:
+            self._index.discard(rank)
+        if self._packed_rows is not None:
+            self._packed_discard(key)
         return True
+
+    def _packed_discard(self, key: RuleKey) -> None:
+        """Tombstone a linear row; compact when tombstones dominate."""
+        rows = self._packed_rows
+        assert rows is not None
+        rows[self._packed_where.pop(key)] = None
+        self._packed_live -= 1
+        if len(rows) > 64 and len(rows) > 2 * self._packed_live:
+            live = [row for row in rows if row is not None]
+            self._packed_rows = live
+            self._packed_where = {
+                row[2].key(): i for i, row in enumerate(live)
+            }
+            self.packed_compactions += 1
 
     def remove_matching(
         self, match: Match, strict_priority: int | None = None
@@ -121,7 +296,7 @@ class FlowTable:
                 return []
             self.remove(rule)
             return [rule]
-        removed = [r for r in self._rules if match.covers(r.match)]
+        removed = self.covered_rules(match)
         for rule in removed:
             self.remove(rule)
         return removed
@@ -129,8 +304,15 @@ class FlowTable:
     def clear(self) -> None:
         """Remove every rule."""
         self._rules.clear()
+        self._order.clear()
         self._by_key.clear()
+        self._rank.clear()
+        self._by_rank.clear()
+        self._index = None
         self._packed_rows = None
+        self._packed_where.clear()
+        self._packed_live = 0
+        self._fp_acc = 0
 
     # ----- queries ------------------------------------------------------
 
@@ -151,8 +333,56 @@ class FlowTable:
         """The rule with exactly this key, or None."""
         return self._by_key.get((priority, match))
 
+    def fingerprint(self) -> str:
+        """Rolling content fingerprint (== :func:`table_fingerprint`).
+
+        First read computes the accumulator from the live rules; from
+        then on it is maintained through every install/replace/remove,
+        so fleet-scale consumers (shared-context dedup, re-convergence
+        checks) never pay an O(N) re-hash on the churn path.
+        """
+        acc = self._fp_acc
+        if acc is None:
+            acc = 0
+            for rule in self._rules:
+                acc = (acc + rule_fingerprint(rule)) % _FINGERPRINT_MOD
+            self._fp_acc = acc
+        return f"{acc:064x}"
+
+    def _ensure_index(self) -> TupleSpaceIndex:
+        index = self._index
+        if index is None:
+            index = TupleSpaceIndex()
+            rank = self._rank
+            for rule in self._rules:
+                value, mask = rule.match.packed()
+                index.add(rank[rule.key()], value, mask)
+            self._index = index
+            self.index_builds += 1
+        return index
+
+    def _ensure_packed(self) -> list[tuple[int, int, Rule] | None]:
+        rows = self._packed_rows
+        if rows is None:
+            rows = [(*r.match.packed(), r) for r in self._rules]
+            self._packed_rows = rows
+            self._packed_where = {
+                row[2].key(): i for i, row in enumerate(rows) if row
+            }
+            self._packed_live = len(rows)
+            self.packed_builds += 1
+        return rows
+
     def lookup(self, header_values: Mapping[FieldName, int]) -> Rule | None:
         """Highest-priority rule matching the header, or None on miss."""
+        if self.use_index:
+            index = self._ensure_index()
+            packed = pack_header(header_values)
+            best: tuple[int, int] | None = None
+            for rank in index.lookup(packed):
+                if best is None or rank < best:
+                    best = rank
+            return None if best is None else self._by_rank[best]
         for rule in self._rules:
             if rule.match.matches(header_values):
                 return rule
@@ -185,37 +415,86 @@ class FlowTable:
 
     def higher_priority(self, rule: Rule) -> list[Rule]:
         """Rules with strictly higher priority, highest first."""
-        return [r for r in self._rules if r.priority > rule.priority]
+        # Strictly-higher priorities rank before (-priority, any seq).
+        index = bisect_left(self._order, (-rule.priority, -1))
+        return self._rules[:index]
 
     def lower_priority(self, rule: Rule) -> list[Rule]:
         """Rules with strictly lower priority, highest first."""
-        return [r for r in self._rules if r.priority < rule.priority]
+        index = bisect_left(self._order, (-rule.priority + 1, -1))
+        return self._rules[index:]
 
     def overlapping(self, match: Match) -> list[Rule]:
         """Rules whose match overlaps ``match`` (the §5.4 pre-filter).
 
-        Uses a cached packed (value, mask) array so the scan is a single
-        bigint expression per rule; this is what keeps per-probe cost
-        milliseconds on 10k-rule tables.
+        Served by the tuple-space index (whole-bucket pruning + hash
+        hits, packed scan only inside surviving buckets) or, with
+        ``use_index=False``, by the incrementally-maintained packed row
+        cache.  Either way the result is in table order (priority
+        descending, insertion order within a priority).
         """
-        if self._packed_rows is None:
-            self._packed_rows = [
-                (*r.match.packed(), r) for r in self._rules
-            ]
         value, mask = match.packed()
-        return [
-            rule
-            for rule_value, rule_mask, rule in self._packed_rows
-            if not ((rule_value ^ value) & rule_mask & mask)
+        if self.use_index:
+            ranks = self._ensure_index().query(value, mask)
+            ranks.sort()
+            by_rank = self._by_rank
+            return [by_rank[rank] for rank in ranks]
+        found = [
+            row[2]
+            for row in self._ensure_packed()
+            if row is not None and not ((row[0] ^ value) & row[1] & mask)
         ]
+        rank = self._rank
+        found.sort(key=lambda rule: rank[rule.key()])
+        return found
+
+    def covered_rules(self, match: Match) -> list[Rule]:
+        """Rules whose match is *covered by* ``match``, in table order.
+
+        The OpenFlow non-strict MODIFY/DELETE target set.  Coverage
+        implies overlap, so the index prunes the candidate pool first —
+        but only when it is already built: short-lived table copies
+        (FlowMod undo capture, altered-table probes) answer one such
+        query and must not pay an index construction for it.
+        """
+        if self._index is not None:
+            return [
+                rule
+                for rule in self.overlapping(match)
+                if match.covers(rule.match)
+            ]
+        return [r for r in self._rules if match.covers(r.match)]
 
     def copy(self) -> "FlowTable":
-        """A shallow copy (rules are immutable so this is safe)."""
-        table = FlowTable(miss_policy=self.miss_policy, check_overlap=False)
-        table._rules = list(self._rules)
-        table._by_key = dict(self._by_key)
+        """A shallow copy (rules are immutable so this is safe).
+
+        The overlap engine of the copy rebuilds lazily on first use;
+        the rolling fingerprint carries over in O(1).
+        """
+        table = FlowTable(
+            miss_policy=self.miss_policy,
+            check_overlap=False,
+            use_index=self.use_index,
+        )
         table.check_overlap = self.check_overlap
+        table._rules = list(self._rules)
+        table._order = list(self._order)
+        table._by_key = dict(self._by_key)
+        table._rank = dict(self._rank)
+        table._by_rank = dict(self._by_rank)
+        table._next_seq = self._next_seq
+        table._fp_acc = self._fp_acc
         return table
 
     def __repr__(self) -> str:
         return f"FlowTable({len(self._rules)} rules, miss={self.miss_policy})"
+
+
+__all__ = [
+    "FlowTable",
+    "OverlapError",
+    "TableMissPolicy",
+    "pack_header",
+    "rule_fingerprint",
+    "table_fingerprint",
+]

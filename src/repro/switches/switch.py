@@ -65,7 +65,7 @@ def apply_flowmod(table: FlowTable, mod: FlowMod) -> list[Rule]:
             if existing is not None:
                 targets = [existing]
         else:
-            targets = [r for r in table.rules() if mod.match.covers(r.match)]
+            targets = table.covered_rules(mod.match)
         if not targets:
             # Per OF 1.0: MODIFY with no matching rule behaves like ADD.
             rule = Rule(

@@ -309,3 +309,67 @@ class TestLargerTopology:
             if sw.node not in healthy:
                 assert sw.alarms == 0
             assert sw.probes_sent > 0
+
+
+class TestFleetRededupe:
+    """Re-convergence after forks, driven by the deployment's
+    churn-quiescence tick (ROADMAP "re-convergence after forks")."""
+
+    def test_reversed_private_churn_remerges_on_quiescence(self):
+        from repro.fleet.deployment import FleetDeployment
+        from repro.openflow.actions import output
+        from repro.openflow.match import Match
+        from repro.openflow.rule import Rule
+        from repro.topology.generators import ring
+
+        deployment = FleetDeployment(
+            ring(4), dynamic=False, seed=7, rededupe_interval=0.2
+        )
+        registry = deployment.shared_contexts
+        assert registry is not None
+        for node in deployment.nodes:
+            deployment.install_production_rule(
+                node,
+                Rule(
+                    priority=100,
+                    match=Match.build(nw_dst=0x0A000001),
+                    actions=output(1),
+                ),
+            )
+        shared_nodes = [
+            node
+            for node in deployment.nodes
+            if deployment.monitor(node).probe_context.is_shared
+        ]
+        assert len(shared_nodes) >= 2
+        deployment.start_monitoring()
+        deployment.run(0.3)
+
+        # One switch receives a private rule: its siblings' steady-state
+        # probing resolves the divergence into a copy-on-churn fork.
+        victim = shared_nodes[0]
+        context = deployment.monitor(victim).probe_context
+        private = Rule(
+            priority=90,
+            match=Match.build(nw_dst=0xC0A80101),
+            actions=output(1),
+        )
+        context.add_rule(private)
+        deployment.run(0.4)
+        assert registry.stats.contexts_forked >= 1
+        assert context.forked
+
+        # The private rule is withdrawn: the table converges back, and
+        # the next quiescent tick re-merges the forked context.
+        context.remove_rule(private)
+        deployment.run(1.0)
+        assert registry.stats.contexts_remerged >= 1
+        assert not context.forked
+        assert deployment.monitor(victim).probe_context.is_shared
+        # Metrics + report surface the re-merge.
+        from repro.fleet.metrics import collect_fleet_metrics
+        from repro.fleet.report import format_fleet_report
+
+        metrics = collect_fleet_metrics(deployment)
+        assert metrics.contexts_remerged >= 1
+        assert "re-merged" in format_fleet_report(metrics)

@@ -239,6 +239,107 @@ def _random_ops(rng, pool):
     return ("modify", priority, dst, output(1, nw_tos=8 * rng.randint(0, 3)))
 
 
+class TestRededupe:
+    """Re-convergence after forks: churn-quiescence re-fingerprinting."""
+
+    def _forked_pair(self, registry):
+        """Two shared handles, then h2 forks via a private op."""
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        base = _rule(10, 0x0A000001)
+        h1.add_rule(base)
+        h2.add_rule(base)
+        private = _rule(20, 0x0A000002)
+        h2.add_rule(private)
+        for _ in range(h1.MAX_BEHIND_PROBES + 1):
+            h1.probe_for(base)
+        assert h2.forked and not h1.forked
+        return h1, h2, base, private
+
+    def test_reversed_divergence_remerges_into_shared_entry(self):
+        registry = SharedContextRegistry()
+        h1, h2, base, private = self._forked_pair(registry)
+        # Tables differ: a sweep must not merge anything.
+        assert registry.rededupe() == 0
+        assert h2.forked
+        # h2 reverses its private op — tables are identical again.
+        h2.remove_rule(private)
+        assert h2.fingerprint() == h1.fingerprint()
+        assert registry.rededupe() == 1
+        assert not h2.forked
+        assert h1.is_shared and h2.is_shared
+        assert h1.table is h2.table
+        assert registry.stats.contexts_remerged == 1
+        assert registry.forked == []
+        # The re-attached handle serves probes from the shared context
+        # with its own rule identity, and can fork again on divergence.
+        result = h2.probe_for(base)
+        assert result.ok and result.rule == base
+        h2.add_rule(_rule(30, 0x0A000003))
+        for _ in range(h1.MAX_BEHIND_PROBES + 1):
+            h1.probe_for(base)
+        assert h2.forked and not h1.forked
+
+    def test_two_forked_handles_remerge_with_each_other(self):
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        h3 = registry.acquire(_generator())
+        base = _rule(10, 0x0A000001)
+        for handle in (h1, h2, h3):
+            handle.add_rule(base)
+        extra = _rule(20, 0x0A000002)
+        # h2 and h3 both diverge with the SAME private rule; h1 stays.
+        h2.add_rule(extra)
+        assert not h2.forked  # h2 is ahead, not yet resolved
+        for _ in range(h1.MAX_BEHIND_PROBES + 1):
+            h1.probe_for(base)
+        assert h2.forked
+        h3.add_rule(extra)
+        for _ in range(h1.MAX_BEHIND_PROBES + 1):
+            h1.probe_for(base)
+        assert h3.forked
+        assert h2.fingerprint() == h3.fingerprint() != h1.fingerprint()
+        merged = registry.rededupe()
+        assert merged == 1  # h3 joined the entry promoted from h2
+        assert h2.is_shared and h3.is_shared
+        assert h2.table is h3.table
+        assert h1.table is not h2.table
+        # Replicated churn on the re-merged pair stays deduped.
+        wave = _rule(30, 0x0A000003)
+        h2.add_rule(wave)
+        h3.add_rule(wave)
+        assert h2.table is h3.table and len(h2.table) == 3
+
+    def test_order_sensitive_identity_blocks_false_merges(self):
+        """Equal fingerprints with different within-priority order must
+        not share state (probe generation consumes table order)."""
+        registry = SharedContextRegistry()
+        a = _rule(10, 0x0A000001)
+        b = _rule(10, 0x0A000002)
+        h1 = registry.acquire(_generator(), rules=[a, b])
+        h2 = registry.acquire(_generator(), rules=[b, a])
+        assert h1.fingerprint() == h2.fingerprint()
+        assert h1.table is not h2.table
+        assert registry.stats.contexts_created == 2
+
+    def test_fingerprint_collision_keeps_both_orders_joinable(self):
+        """An order-collision on the multiset fingerprint must not
+        evict either pristine entry: later replicas of each order still
+        dedupe onto their exact match."""
+        registry = SharedContextRegistry()
+        a = _rule(10, 0x0A000001)
+        b = _rule(10, 0x0A000002)
+        h1 = registry.acquire(_generator(), rules=[a, b])
+        h2 = registry.acquire(_generator(), rules=[b, a])
+        h3 = registry.acquire(_generator(), rules=[a, b])
+        h4 = registry.acquire(_generator(), rules=[b, a])
+        assert h3.table is h1.table
+        assert h4.table is h2.table
+        assert registry.stats.contexts_created == 2
+        assert registry.stats.contexts_deduped == 2
+
+
 def _apply_spec(target, spec):
     kind, priority, dst, actions = spec
     match = Match.build(nw_dst=dst)

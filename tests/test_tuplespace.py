@@ -1,0 +1,337 @@
+"""Tuple-space overlap index: equivalence, maintenance, fingerprints.
+
+The index is a pure performance structure — every behaviour here is
+defined by the linear reference:
+
+* :meth:`FlowTable.overlapping` must return the *identical list* (set
+  and order) as the linear packed scan and as a brute-force
+  ``Match.overlaps`` sweep, under randomized churn with priority ties
+  and wildcard-heavy tables (hypothesis property);
+* :meth:`FlowTable.lookup` must pick the same winner as first-match
+  iteration in table order;
+* the rolling :meth:`FlowTable.fingerprint` must equal the from-scratch
+  :func:`table_fingerprint` after every operation;
+* churn must never trigger a wholesale rebuild of either engine
+  (``index_builds`` / ``packed_builds`` stay at 1 — the O(N)-rebuild
+  regression test for the old ``_packed_rows = None`` invalidation).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openflow.actions import ActionList, Drop, output
+from repro.openflow.fields import FieldName, HEADER
+from repro.openflow.match import FieldMatch, Match
+from repro.openflow.rule import Rule
+from repro.openflow.table import FlowTable, table_fingerprint
+from repro.openflow.tuplespace import TupleSpaceIndex, signature_of
+
+
+# ----- strategies ---------------------------------------------------------
+
+
+def _prefix(field_name, value, length):
+    field = HEADER.field(field_name)
+    return FieldMatch.prefix(field, value, length)
+
+
+@st.composite
+def matches(draw):
+    """Wildcard-heavy matches: prefixes, exacts, odd non-prefix masks."""
+    fields = {}
+    if draw(st.booleans()):
+        fields[FieldName.DL_TYPE] = FieldMatch.exact(
+            HEADER.field(FieldName.DL_TYPE), 0x0800
+        )
+    length = draw(st.sampled_from([0, 4, 8, 14, 16, 24, 31, 32]))
+    if length:
+        value = draw(st.integers(0, (1 << 32) - 1))
+        fields[FieldName.NW_DST] = _prefix(FieldName.NW_DST, value, length)
+    if draw(st.booleans()):
+        length = draw(st.sampled_from([8, 16, 32]))
+        value = draw(st.integers(0, (1 << 32) - 1))
+        fields[FieldName.NW_SRC] = _prefix(FieldName.NW_SRC, value, length)
+    if draw(st.booleans()):
+        fields[FieldName.TP_DST] = FieldMatch.exact(
+            HEADER.field(FieldName.TP_DST), draw(st.sampled_from([22, 80]))
+        )
+    if draw(st.booleans()):
+        # Non-prefix mask: coarsens to wildcard in the signature, so
+        # this exercises the fallback scan path.
+        mask = draw(st.sampled_from([0x0F0F, 0x00FF, 0x5555]))
+        value = draw(st.integers(0, (1 << 16) - 1)) & mask
+        fields[FieldName.TP_SRC] = FieldMatch(value=value, mask=mask)
+    return Match(fields)
+
+
+@st.composite
+def rules(draw):
+    priority = draw(st.integers(1, 6))  # small range: plenty of ties
+    match = draw(matches())
+    actions = draw(
+        st.sampled_from(
+            [output(1), output(2), output(3), ActionList((Drop(),))]
+        )
+    )
+    return Rule(priority=priority, match=match, actions=actions)
+
+
+@st.composite
+def headers(draw):
+    values = {
+        FieldName.DL_TYPE: draw(st.sampled_from([0x0800, 0x0806])),
+        FieldName.NW_DST: draw(st.integers(0, (1 << 32) - 1)),
+        FieldName.NW_SRC: draw(st.integers(0, (1 << 32) - 1)),
+        FieldName.TP_DST: draw(st.sampled_from([22, 80, 443])),
+        FieldName.TP_SRC: draw(st.integers(0, (1 << 16) - 1)),
+    }
+    return values
+
+
+def _reference_overlapping(table: FlowTable, match: Match) -> list:
+    return [r.key() for r in table.rules() if r.match.overlaps(match)]
+
+
+def _reference_lookup(table: FlowTable, header) -> Rule | None:
+    for rule in table.rules():
+        if rule.match.matches(header):
+            return rule
+    return None
+
+
+# ----- the equivalence property ------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    initial=st.lists(rules(), max_size=25),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "remove", "modify"]), rules()),
+        max_size=25,
+    ),
+    queries=st.lists(matches(), min_size=1, max_size=4),
+    probes=st.lists(headers(), min_size=1, max_size=4),
+)
+def test_index_linear_equivalence_under_churn(initial, ops, queries, probes):
+    indexed = FlowTable(check_overlap=False, use_index=True)
+    linear = FlowTable(check_overlap=False, use_index=False)
+
+    def check():
+        assert indexed.fingerprint() == table_fingerprint(indexed.rules())
+        assert indexed.fingerprint() == linear.fingerprint()
+        for match in queries + [r.match for r in indexed.rules()[:3]]:
+            expected = _reference_overlapping(linear, match)
+            assert [
+                r.key() for r in indexed.overlapping(match)
+            ] == expected
+            assert [
+                r.key() for r in linear.overlapping(match)
+            ] == expected
+        for header in probes:
+            expected_rule = _reference_lookup(linear, header)
+            got = indexed.lookup(header)
+            if expected_rule is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.key() == expected_rule.key()
+
+    for rule in initial:
+        indexed.install(rule)
+        linear.install(rule)
+    # Force both engines to exist before churn starts.
+    indexed.overlapping(Match.wildcard())
+    linear.overlapping(Match.wildcard())
+    check()
+
+    live = list(initial)
+    for kind, rule in ops:
+        if kind == "add" or not live:
+            indexed.install(rule)
+            linear.install(rule)
+            live.append(rule)
+        elif kind == "remove":
+            victim = live[len(live) // 2]
+            indexed.remove(victim)
+            linear.remove(victim)
+            live = [r for r in live if r.key() != victim.key()]
+        else:  # modify: same key, new actions (same-key replace path)
+            target = live[len(live) // 3]
+            new_rule = target.with_actions(output(7))
+            indexed.install(new_rule)
+            linear.install(new_rule)
+            live = [
+                new_rule if r.key() == new_rule.key() else r for r in live
+            ]
+        check()
+
+    # Churn never rebuilt either engine from scratch.
+    assert indexed.index_builds == 1
+    assert linear.packed_builds == 1
+
+
+# ----- the no-wholesale-rebuild regression -------------------------------
+
+
+def _filler(i: int) -> Rule:
+    return Rule(
+        priority=10 + i,
+        match=Match.build(nw_dst=0x0A000000 + i),
+        actions=output(1 + i % 3),
+    )
+
+
+class TestNoWholesaleRebuild:
+    """The seed behaviour set ``_packed_rows = None`` on every mutation,
+    making each churn step pay an O(N) rebuild on the next query.  Both
+    engines must instead be maintained incrementally."""
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_churn_never_rebuilds(self, use_index):
+        table = FlowTable(
+            (_filler(i) for i in range(256)),
+            check_overlap=False,
+            use_index=use_index,
+        )
+        probe = Match.build(nw_dst=(0x0A000000, 24))
+        baseline = {r.key() for r in table.overlapping(probe)}
+        assert baseline  # engine built by the first query
+        for step in range(120):
+            victim = _filler(step % 256)
+            table.remove(victim)
+            assert table.overlapping(victim.match) == []
+            table.install(victim)
+            got = {r.key() for r in table.overlapping(probe)}
+            assert got == baseline
+        if use_index:
+            assert table.index_builds == 1
+            assert table.packed_builds == 0
+        else:
+            assert table.packed_builds == 1
+            assert table.index_builds == 0
+
+    def test_linear_rows_compact_under_deletion_storms(self):
+        table = FlowTable(
+            (_filler(i) for i in range(256)),
+            check_overlap=False,
+            use_index=False,
+        )
+        table.overlapping(Match.wildcard())
+        for i in range(200):
+            table.remove(_filler(i))
+        assert len(table.overlapping(Match.wildcard())) == 56
+        assert table.packed_builds == 1
+        assert table.packed_compactions >= 1
+
+    def test_replace_updates_linear_rows_in_place(self):
+        table = FlowTable(
+            (_filler(i) for i in range(8)),
+            check_overlap=False,
+            use_index=False,
+        )
+        table.overlapping(Match.wildcard())
+        replacement = _filler(3).with_actions(output(9))
+        table.install(replacement)
+        hit = [
+            r
+            for r in table.overlapping(_filler(3).match)
+            if r.key() == replacement.key()
+        ]
+        assert hit == [replacement]
+        assert table.packed_builds == 1
+
+
+# ----- rolling fingerprint ------------------------------------------------
+
+
+class TestRollingFingerprint:
+    def test_matches_from_scratch_after_every_operation(self):
+        table = FlowTable(check_overlap=False)
+        history = [_filler(i) for i in range(20)]
+        for rule in history:
+            table.install(rule)
+            assert table.fingerprint() == table_fingerprint(table.rules())
+        for rule in history[::2]:
+            table.remove(rule)
+            assert table.fingerprint() == table_fingerprint(table.rules())
+        replacement = history[1].with_actions(output(9))
+        table.install(replacement)
+        assert table.fingerprint() == table_fingerprint(table.rules())
+        table.clear()
+        assert table.fingerprint() == table_fingerprint([])
+
+    def test_cookie_free_and_order_insensitive(self):
+        a = [_filler(1), _filler(2)]
+        b = [
+            Rule(priority=r.priority, match=r.match, actions=r.actions)
+            for r in reversed(a)
+        ]
+        ta = FlowTable(a, check_overlap=False)
+        tb = FlowTable(b, check_overlap=False)
+        assert ta.fingerprint() == tb.fingerprint()
+
+    def test_copy_carries_the_accumulator(self):
+        table = FlowTable((_filler(i) for i in range(10)),
+                          check_overlap=False)
+        dup = table.copy()
+        assert dup.fingerprint() == table.fingerprint()
+        dup.remove(_filler(0))
+        assert dup.fingerprint() != table.fingerprint()
+        assert dup.fingerprint() == table_fingerprint(dup.rules())
+
+
+# ----- index internals ----------------------------------------------------
+
+
+class TestTupleSpaceIndex:
+    def test_signature_is_intersection_compatible(self):
+        masks = [
+            Match.build(nw_dst=(0x0A000000, 20)).packed()[1],
+            Match.build(nw_dst=(0x0A000000, 8), dl_type=0x0800).packed()[1],
+            Match.build(tp_dst=80).packed()[1],
+            0,
+        ]
+        for a in masks:
+            sig = signature_of(a)
+            for b in masks:
+                assert signature_of(sig & b) == sig & signature_of(b)
+
+    def test_tombstones_compact(self):
+        index = TupleSpaceIndex()
+        match = Match.build(nw_dst=(0x0A000000, 24))
+        value, mask = match.packed()
+        for i in range(100):
+            index.add(i, value | i, mask)
+        for i in range(90):
+            index.discard(i)
+        assert index.compactions >= 1
+        assert len(index) == 10
+        assert sorted(index.query(value, mask)) == list(range(90, 100))
+
+    def test_copy_is_independent(self):
+        index = TupleSpaceIndex()
+        value, mask = Match.build(nw_dst=0x0A000001).packed()
+        index.add("a", value, mask)
+        dup = index.copy()
+        dup.discard("a")
+        assert "a" in index and "a" not in dup
+        assert index.query(value, mask) == ["a"]
+        assert dup.query(value, mask) == []
+
+    def test_level_cap_evicts_but_stays_correct(self):
+        index = TupleSpaceIndex()
+        value, mask = Match.build(
+            nw_dst=(0x0A000000, 32), nw_src=(0x14000000, 32)
+        ).packed()
+        index.add("r", value, mask)
+        # Query with many distinct query signatures to churn levels.
+        for dst_len in (8, 16, 24, 32):
+            for src_len in (0, 8, 16, 24, 32):
+                kwargs = {"nw_dst": (0x0A000000, dst_len)}
+                if src_len:
+                    kwargs["nw_src"] = (0x14000000, src_len)
+                q = Match.build(**kwargs)
+                assert index.query(*q.packed()) == ["r"]
