@@ -62,6 +62,10 @@ class PendingUpdate:
     finalize: FlowMod | None = None
     #: Key in the monitor's unconfirmed-update overlap index.
     token: int = 0
+    #: Rule keys this update actually touched (resolved per path at
+    #: start time); fed to the scheduler as reprobe hints on confirm.
+    #: Empty for deletions — a removed rule cannot be re-probed.
+    hint_keys: tuple = ()
 
 
 class DynamicMonitor:
@@ -159,7 +163,12 @@ class DynamicMonitor:
         self.monitor.from_controller(mod)
         rule = self.monitor.expected.get(mod.priority, mod.match)
         assert rule is not None
-        update = PendingUpdate(mod=mod, started=self.sim.now, remaining=1)
+        update = PendingUpdate(
+            mod=mod,
+            started=self.sim.now,
+            remaining=1,
+            hint_keys=(rule.key(),),
+        )
         self._track(update)
         result = self.monitor.probe_for_rule(rule)
         if not result.ok:
@@ -197,7 +206,13 @@ class DynamicMonitor:
         tracked = self.monitor.expected.get(stand_in.priority, stand_in.match)
         assert tracked is not None
         update = PendingUpdate(
-            mod=mod, started=self.sim.now, remaining=1, finalize=finalize
+            mod=mod,
+            started=self.sim.now,
+            remaining=1,
+            finalize=finalize,
+            # The stand-in and the final drop rule share the original
+            # rule's (priority, match) key.
+            hint_keys=(rule.key(),),
         )
         self._track(update)
         result = self.monitor.probe_for_rule(tracked)
@@ -215,7 +230,12 @@ class DynamicMonitor:
         new_rule = old_rule.with_actions(mod.actions)
         result = self._modification_probe(old_rule, new_rule)
         self.monitor.from_controller(mod)
-        update = PendingUpdate(mod=mod, started=self.sim.now, remaining=1)
+        update = PendingUpdate(
+            mod=mod,
+            started=self.sim.now,
+            remaining=1,
+            hint_keys=(old_rule.key(),),
+        )
         self._track(update)
         if result is None or not result.ok:
             self._confirm_piece(update, monitorable=False)
@@ -384,6 +404,15 @@ class DynamicMonitor:
         if update.finalize is not None:
             # Drop-postponing: swap the real drop rule in (§4.3).
             self.monitor.from_controller(update.finalize)
+        # Post-confirmation reprobe hints: a just-confirmed update is
+        # still the likeliest region of the table to regress (§4), so
+        # feed the scheduler's recency weights instead of launching
+        # ad-hoc probes — priority-aware policies re-visit the rules in
+        # the steady cycle; round-robin ignores the hints by design.
+        # Keys were resolved per update path at start time (deletions
+        # carry none: a removed rule cannot be re-probed).
+        for key in update.hint_keys:
+            self.monitor.scheduler.note_update(key)
         if self.send_ack and self.monitor.forward_up is not None:
             self.monitor.forward_up(
                 UpdateAck(

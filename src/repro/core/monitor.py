@@ -29,6 +29,7 @@ from repro.core.probegen import (
     ProbeResult,
     UnmonitorableReason,
 )
+from repro.core.schedule import ProbeScheduler
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.fields import FieldName
 from repro.openflow.messages import FlowMod, Message, PacketIn
@@ -143,6 +144,7 @@ class Monitor:
         forward_up: Callable[[Message], None] | None = None,
         inject_probe: Callable[[bytes, int], None] | None = None,
         probe_context=None,
+        scheduler: ProbeScheduler | None = None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -166,8 +168,19 @@ class Monitor:
         self.probe_context = probe_context
         self.alarms: list[MonitorAlarm] = []
         self.outstanding: dict[int, OutstandingProbe] = {}
-        self._cycle_keys: list[tuple] = []
-        self._cycle_position = 0
+        #: The probe cycle, owned by an incremental scheduler: the one
+        #: full expected-table walk happens here at construction; every
+        #: later FlowMod feeds it an O(delta) add/remove instead (the
+        #: PR 4 treatment, applied to cycle maintenance).  Policies
+        #: other than round-robin promote recently churned rules.
+        if scheduler is None:
+            scheduler = ProbeScheduler()
+        if scheduler.is_infrastructure is None:
+            # Default filter: catch/filter rules are the probing plane.
+            # A caller-provided filter is honored as-is.
+            scheduler.is_infrastructure = self._is_infrastructure
+        self.scheduler = scheduler
+        scheduler.rebuild(self.expected)
         self._steady_running = False
         # Stats.
         self.probes_sent = 0
@@ -191,6 +204,7 @@ class Monitor:
     def preinstall(self, rule: Rule) -> None:
         """Record a rule installed out-of-band (catch rules, initial state)."""
         self.probe_context.add_rule(rule)
+        self.scheduler.add(rule)
 
     def observe_flowmod(self, mod: FlowMod) -> None:
         """Track a FlowMod the controller sent (steady-state tracking).
@@ -198,10 +212,12 @@ class Monitor:
         Dynamic-mode interception (queueing + acks) is layered on top by
         :class:`~repro.core.dynamic.DynamicMonitor`.  The probe context
         applies the FlowMod to the expected table and stale-marks only
-        cached probes whose rule intersects the rules actually touched.
+        cached probes whose rule intersects the rules actually touched;
+        the same affected-rule delta maintains the probe cycle — no
+        full-table rebuild, ever.
         """
-        self.probe_context.apply_flowmod(mod)
-        self._rebuild_cycle()
+        affected = self.probe_context.apply_flowmod(mod)
+        self.scheduler.observe_flowmod(mod, affected)
 
     # ----- proxy data path ---------------------------------------------------
 
@@ -269,19 +285,11 @@ class Monitor:
         if self._steady_running:
             return
         self._steady_running = True
-        self._rebuild_cycle()
         self.sim.schedule(1.0 / self.config.probe_rate, self._steady_tick)
 
     def stop_steady_state(self) -> None:
         """Pause the cycle (outstanding probes still resolve)."""
         self._steady_running = False
-
-    def _rebuild_cycle(self) -> None:
-        self._cycle_keys = [
-            rule.key()
-            for rule in self.expected
-            if not self._is_infrastructure(rule)
-        ]
 
     def _is_infrastructure(self, rule: Rule) -> bool:
         """Catch/filter rules are not probed (they are the probing plane)."""
@@ -293,7 +301,7 @@ class Monitor:
         if not self._steady_running:
             return
         self.sim.schedule(1.0 / self.config.probe_rate, self._steady_tick)
-        rule = self._next_cycle_rule()
+        rule = self.scheduler.next_rule(self.expected, busy=self._in_flight)
         if rule is None:
             return
         result = self.probe_for_rule(rule)
@@ -306,25 +314,12 @@ class Monitor:
             on_alarm=self._steady_alarm,
         )
 
-    def _next_cycle_rule(self) -> Rule | None:
-        if not self._cycle_keys:
-            return None
-        for _ in range(len(self._cycle_keys)):
-            self._cycle_position = (self._cycle_position + 1) % len(
-                self._cycle_keys
-            )
-            key = self._cycle_keys[self._cycle_position]
-            rule = self.expected.get(*key)
-            if rule is None:
-                continue
-            # Skip rules with a probe already in flight.
-            if any(
-                probe.result.rule.key() == key and not probe.done
-                for probe in self.outstanding.values()
-            ):
-                continue
-            return rule
-        return None
+    def _in_flight(self, key: tuple) -> bool:
+        """Is a probe for this rule key already outstanding?"""
+        return any(
+            probe.result.rule.key() == key and not probe.done
+            for probe in self.outstanding.values()
+        )
 
     def _steady_alarm(self, probe: OutstandingProbe, kind: str) -> None:
         self.alarms.append(
@@ -335,6 +330,9 @@ class Monitor:
                 detail=f"nonce={probe.nonce}",
             )
         )
+        # Alarm history feeds the scheduler: weighted policies re-visit
+        # misbehaving rules sooner.
+        self.scheduler.record_alarm(probe.result.rule.key())
 
     # ----- probe lifecycle ---------------------------------------------------
 

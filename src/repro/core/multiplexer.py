@@ -21,7 +21,7 @@ DynamicMonitor) per switch and interposes all control channels.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Mapping
 
 from repro.core.catching import (
     CatchingPlan,
@@ -31,6 +31,7 @@ from repro.core.catching import (
 from repro.core.dynamic import DynamicMonitor
 from repro.core.monitor import Monitor, MonitorConfig
 from repro.core.probegen import ProbeGenerator
+from repro.core.schedule import ProbeScheduler, make_policy
 from repro.core.shared import SharedContextRegistry
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.messages import Message, PacketIn, PacketOut
@@ -126,6 +127,10 @@ class MonocleSystem:
             contexts from this registry, deduping switches with
             identical tables and compatible generator configs into one
             shared solver context (copy-on-churn).
+        probe_policy: probe-scheduling policy per switch — a
+            :data:`~repro.core.schedule.POLICIES` name for the whole
+            fleet, a node -> name mapping, or a callable
+            ``node -> name``.
     """
 
     def __init__(
@@ -137,11 +142,13 @@ class MonocleSystem:
         controller_handler: Callable[[Hashable, Message], None] | None = None,
         use_drop_postponing: bool = False,
         shared_contexts: "SharedContextRegistry | None" = None,
+        probe_policy: "str | Mapping | Callable" = "round_robin",
     ) -> None:
         self.network = network
         self.sim = network.sim
         self.config = config if config is not None else MonitorConfig()
         self.controller_handler = controller_handler
+        self.probe_policy = probe_policy
         if plan is None:
             plan = plan_catching_rules(
                 network.topology, strategy=1, algorithm=ColoringAlgorithm.EXACT
@@ -154,6 +161,15 @@ class MonocleSystem:
 
         for node in sorted(network.topology.nodes, key=repr):
             self._deploy(node, dynamic, use_drop_postponing)
+
+    def _policy_name(self, node: Hashable) -> str:
+        """Resolve the probe-policy name for one switch."""
+        spec = self.probe_policy
+        if isinstance(spec, str):
+            return spec
+        if isinstance(spec, Mapping):
+            return spec.get(node, "round_robin")
+        return spec(node)
 
     def _deploy(
         self, node: Hashable, dynamic: bool, use_drop_postponing: bool
@@ -198,6 +214,9 @@ class MonocleSystem:
                 )
             ),
             probe_context=probe_context,
+            scheduler=ProbeScheduler(
+                policy=make_policy(self._policy_name(node))
+            ),
         )
         if probe_context is None:
             for rule in catch_rules:

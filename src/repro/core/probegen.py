@@ -470,17 +470,10 @@ class ProbeGenContext:
         broad match removes two rules only stale-marks probes
         intersecting those two rules, not everything under the match.
         """
-        from repro.openflow.messages import FlowModCommand
         from repro.switches.switch import apply_flowmod  # local: avoid cycle
 
-        deleting = mod.command in (
-            FlowModCommand.DELETE,
-            FlowModCommand.DELETE_STRICT,
-        )
-        modifying = mod.command in (
-            FlowModCommand.MODIFY,
-            FlowModCommand.MODIFY_STRICT,
-        )
+        deleting = mod.command.is_delete
+        modifying = mod.command.is_modify
         # Distinguishes a real in-place MODIFY from the OF 1.0
         # modify-with-no-target fallback, which installs a new rule.
         had_key = self.table.get(mod.priority, mod.match) is not None
@@ -540,6 +533,31 @@ class ProbeGenContext:
         self._cache.clear()
         self._stale.clear()
         self._cache_index.clear()
+
+    def merge_cache_from(self, other: "ProbeGenContext") -> int:
+        """Adopt ``other``'s cached probes this context does not hold.
+
+        Sound only when both contexts' tables are rule-sequence
+        identical (the caller — the shared registry's warm re-merge —
+        verifies that before any state is shared): a cached result is a
+        pure function of the table and the generator config, so either
+        context's entry is valid for both.  Stale marks travel with the
+        adopted entries; solver state (chains, lemmas) is deliberately
+        not merged — each context keeps its own.  Returns the number of
+        entries adopted.
+        """
+        adopted = 0
+        for key, result in other._cache.items():
+            if key in self._cache:
+                continue
+            self._cache[key] = result
+            if key in other._stale:
+                self._stale.add(key)
+            if key not in self._cache_index:
+                # key == (priority, match): index the rule's packed match.
+                self._cache_index.add(key, *key[1].packed())
+            adopted += 1
+        return adopted
 
     def fork(self) -> "ProbeGenContext":
         """An independent copy of this context (copy-on-churn).

@@ -59,7 +59,7 @@ from repro.core.probegen import (
     ProbeGenerator,
     ProbeResult,
 )
-from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.messages import FlowMod
 from repro.openflow.match import Match
 from repro.openflow.rule import Rule
 from repro.openflow.table import FlowTable, table_fingerprint
@@ -146,6 +146,12 @@ class SharedContextStats:
     #: Forked handles re-attached to a shared context after their
     #: tables became identical again (churn-quiescence re-dedup).
     contexts_remerged: int = 0
+    #: Warm re-merges where the *forked* solver was the richer one
+    #: (more learned lemmas) and replaced the shared entry's solver
+    #: instead of being dropped.
+    solvers_kept_on_remerge: int = 0
+    #: Probe-cache entries adopted across re-merges (either direction).
+    cache_entries_merged: int = 0
     #: Re-fingerprinting sweeps run (each is O(forked + entries) thanks
     #: to the tables' rolling fingerprints).
     rededupe_passes: int = 0
@@ -499,14 +505,8 @@ class SharedProbeGenContext:
         """
         from repro.switches.switch import apply_flowmod  # avoid cycle
 
-        deleting = mod.command in (
-            FlowModCommand.DELETE,
-            FlowModCommand.DELETE_STRICT,
-        )
-        modifying = mod.command in (
-            FlowModCommand.MODIFY,
-            FlowModCommand.MODIFY_STRICT,
-        )
+        deleting = mod.command.is_delete
+        modifying = mod.command.is_modify
         had_key = self._my_table.get(mod.priority, mod.match) is not None
         affected = apply_flowmod(self._my_table, mod)
         for rule in affected:
@@ -640,11 +640,28 @@ class SharedProbeGenContext:
         """Re-join a shared entry after the tables converged back.
 
         Only called by :meth:`SharedContextRegistry.rededupe` once the
-        entry's table is rule-sequence-identical to this handle's.  The
-        private context (and its solver) is dropped; future probes are
-        served — and cookie-overlaid, validated per-handle — from the
-        shared context exactly as before the fork.
+        entry's table is rule-sequence-identical to this handle's.
+        When the fork was warm, its accumulated state is not simply
+        dropped: probe caches merge in both directions (a result is a
+        pure function of the now-identical table), and whichever
+        context holds the richer solver — more learned lemmas —
+        becomes the entry's context, so the warmth the fork earned
+        while diverged survives the re-merge.  Future probes are served
+        — and cookie-overlaid, validated per-handle — from the shared
+        context exactly as before the fork.
         """
+        own = self._own
+        if own is not None:
+            stats = self._registry.stats
+            shared = entry.context
+            if own.solver.lemma_count() > shared.solver.lemma_count():
+                # The fork learned more than the entry did: keep its
+                # solver, graft the entry's probe cache onto it.
+                stats.cache_entries_merged += own.merge_cache_from(shared)
+                entry.context = own
+                stats.solvers_kept_on_remerge += 1
+            else:
+                stats.cache_entries_merged += shared.merge_cache_from(own)
         self._own = None
         self._entry = entry
         self._log_pos = entry.head()

@@ -26,6 +26,7 @@ from repro.core.catching import (
 from repro.core.monitor import Monitor, MonitorConfig
 from repro.core.probegen import ProbeGenContextStats
 from repro.core.multiplexer import MonocleSystem
+from repro.core.schedule import SchedulerStats
 from repro.core.shared import SharedContextRegistry, SharedContextStats
 from repro.network.network import Network
 from repro.openflow.messages import Message
@@ -59,6 +60,11 @@ class FleetDeployment:
             identical again (rolling re-fingerprinting; see
             :meth:`~repro.core.shared.SharedContextRegistry.rededupe`).
             ``None``/0 disables the sweep.
+        probe_policy: probe-scheduling policy per switch — one
+            :data:`~repro.core.schedule.POLICIES` name for the whole
+            fleet, a node -> name mapping, or a callable
+            ``node -> name`` (``round_robin``, ``churn_first`` or
+            ``weighted``).
     """
 
     def __init__(
@@ -76,6 +82,9 @@ class FleetDeployment:
         use_drop_postponing: bool = False,
         share_contexts: bool = True,
         rededupe_interval: float | None = 0.5,
+        probe_policy: str
+        | Mapping[Hashable, str]
+        | Callable[[Hashable], str] = "round_robin",
     ) -> None:
         if topology.number_of_nodes() == 0:
             raise ValueError("cannot deploy a fleet on an empty topology")
@@ -105,6 +114,7 @@ class FleetDeployment:
             # Armed lazily: the timer only runs while forked contexts
             # exist, so an idle deployment's event queue can drain.
             self.shared_contexts.on_fork = self._arm_rededupe
+        self.probe_policy = probe_policy
         self.system = MonocleSystem(
             self.network,
             plan=plan,
@@ -113,6 +123,7 @@ class FleetDeployment:
             controller_handler=self._handle_upstream,
             use_drop_postponing=use_drop_postponing,
             shared_contexts=self.shared_contexts,
+            probe_policy=probe_policy,
         )
         self.controller = SdnController(
             self.sim, send=self.system.send_to_switch
@@ -224,6 +235,25 @@ class FleetDeployment:
             # Field-driven so counters added to the dataclass can never
             # be silently dropped from the aggregate.
             for stat_field in dataclasses.fields(ProbeGenContextStats):
+                setattr(
+                    total,
+                    stat_field.name,
+                    getattr(total, stat_field.name)
+                    + getattr(stats, stat_field.name),
+                )
+        return total
+
+    def scheduler_stats(self) -> SchedulerStats:
+        """Fleet-wide aggregate of the probe-scheduler counters.
+
+        ``cycle_rebuilds`` must equal the switch count however much the
+        fleet churns: each Monitor pays exactly one construction-time
+        cycle build, then O(delta) maintenance.
+        """
+        total = SchedulerStats()
+        for node in self.nodes:
+            stats = self.monitor(node).scheduler.stats
+            for stat_field in dataclasses.fields(SchedulerStats):
                 setattr(
                     total,
                     stat_field.name,

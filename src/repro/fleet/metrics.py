@@ -47,6 +47,13 @@ class SwitchMetrics:
     #: (copy-on-churn) during the scenario?
     context_shared: bool = False
     context_forked: bool = False
+    #: Probe-cycle scheduling: which policy served this switch, how
+    #: many full cycle builds it paid (exactly 1 however much the
+    #: scenario churned — the delta-maintenance invariant) and how many
+    #: probes a priority-aware policy served ahead of the base cycle.
+    probe_policy: str = "round_robin"
+    cycle_rebuilds: int = 0
+    scheduler_promotions: int = 0
 
     def probe_rate(self, duration: float) -> float:
         """Achieved probes/s over the scenario."""
@@ -137,13 +144,26 @@ class FleetMetrics:
         return sum(m.probegen_seconds for m in self.per_switch)
 
     @property
+    def cycle_rebuilds(self) -> int:
+        """Full probe-cycle builds across the fleet (== switch count)."""
+        return sum(m.cycle_rebuilds for m in self.per_switch)
+
+    @property
+    def scheduler_promotions(self) -> int:
+        return sum(m.scheduler_promotions for m in self.per_switch)
+
+    @property
     def all_detected(self) -> bool:
         """Every injected failure produced an attributable alarm."""
         return all(d.detected for d in self.detections)
 
     @property
     def detection_latencies(self) -> list[float]:
-        return [d.latency for d in self.detections if d.latency is not None]
+        return [
+            latency
+            for d in self.detections
+            if (latency := d.latency) is not None
+        ]
 
 
 def collect_fleet_metrics(
@@ -180,6 +200,11 @@ def collect_fleet_metrics(
                 probegen_seconds=genstats.generation_seconds,
                 context_shared=getattr(context, "is_shared", False),
                 context_forked=getattr(context, "forked", False),
+                probe_policy=monitor.scheduler.policy.name,
+                cycle_rebuilds=monitor.scheduler.stats.cycle_rebuilds,
+                scheduler_promotions=(
+                    monitor.scheduler.stats.scheduler_promotions
+                ),
             )
         )
 

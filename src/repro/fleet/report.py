@@ -89,6 +89,15 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
             f"({100.0 * (served - metrics.probes_generated) / served:.0f}% "
             "served without a solve)"
         )
+    policies = sorted({m.probe_policy for m in metrics.per_switch})
+    if policies:
+        # Counters only (no wall-clock): determinism checks diff reports.
+        lines.append(
+            f"scheduling: policies {'/'.join(policies)}, "
+            f"{metrics.cycle_rebuilds} cycle builds for "
+            f"{len(metrics.per_switch)} switches, "
+            f"{metrics.scheduler_promotions} promotions"
+        )
     if metrics.tables_fingerprinted:
         shared_now = sum(1 for m in metrics.per_switch if m.context_shared)
         lines.append(

@@ -25,6 +25,7 @@ import networkx as nx
 
 from repro.core.catching import CapacityError, ColoringAlgorithm
 from repro.core.monitor import MonitorConfig
+from repro.core.schedule import POLICIES as SCHEDULE_POLICIES
 from repro.fleet.deployment import FleetDeployment
 from repro.fleet.failures import (
     FailureSpec,
@@ -109,6 +110,11 @@ class ScenarioSpec:
     max_events: int | None = None
     #: Dedupe probe-gen contexts across identical-table switches.
     share_contexts: bool = True
+    #: Probe-cycle scheduling policy, fleet-wide (per-switch overrides
+    #: go through :class:`~repro.fleet.deployment.FleetDeployment`
+    #: directly): ``round_robin`` (§3 baseline), ``churn_first``
+    #: (recently-churned rules jump the queue) or ``weighted``.
+    probe_policy: str = "round_robin"
 
     # ----- validation -----------------------------------------------------
 
@@ -132,6 +138,11 @@ class ScenarioSpec:
         if self.strategy not in (1, 2):
             raise ScenarioError(
                 f"strategy must be 1 or 2, not {self.strategy}"
+            )
+        if self.probe_policy not in SCHEDULE_POLICIES:
+            raise ScenarioError(
+                f"unknown probe policy {self.probe_policy!r}; "
+                f"choose from {sorted(SCHEDULE_POLICIES)}"
             )
         if self.duration <= 0:
             raise ScenarioError(f"duration must be positive: {self.duration}")
@@ -221,6 +232,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
             strategy=spec.strategy,
             algorithm=ALGORITHMS[spec.algorithm],
             share_contexts=spec.share_contexts,
+            probe_policy=spec.probe_policy,
         )
     except CapacityError as exc:
         raise ScenarioError(str(exc)) from exc
@@ -315,6 +327,9 @@ def main(argv: list[str] | None = None) -> int:
                         choices=sorted(ALGORITHMS))
     parser.add_argument("--static", action="store_true",
                         help="disable dynamic update confirmation")
+    parser.add_argument("--probe-policy", default="round_robin",
+                        choices=sorted(SCHEDULE_POLICIES),
+                        help="probe-cycle scheduling policy")
     parser.add_argument("--churn", type=float, default=0.0,
                         help="rule-churn FlowMods/s across the fleet")
     parser.add_argument("--traffic", type=int, default=0,
@@ -344,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
         dynamic=not args.static,
         strategy=args.strategy,
         algorithm=args.algorithm,
+        probe_policy=args.probe_policy,
     )
     workloads: list[Workload] = []
     if args.churn > 0:

@@ -220,7 +220,11 @@ class RuleChurn(Workload):
 
     def confirmation_latencies(self) -> list[float]:
         """Latencies of all confirmed operations, in send order."""
-        return [r.latency for r in self.records if r.latency is not None]
+        return [
+            latency
+            for r in self.records
+            if (latency := r.latency) is not None
+        ]
 
 
 @dataclass

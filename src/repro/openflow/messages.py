@@ -39,6 +39,21 @@ class FlowModCommand(enum.Enum):
     DELETE = "delete"
     DELETE_STRICT = "delete_strict"
 
+    @property
+    def is_delete(self) -> bool:
+        """Removal semantics (strict or not).
+
+        The one definition every affected-rule consumer (probe context,
+        shared-context overlay, probe scheduler) classifies against, so
+        a future delete-like command cannot desynchronize them.
+        """
+        return self in (FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT)
+
+    @property
+    def is_modify(self) -> bool:
+        """In-place modification semantics (strict or not)."""
+        return self in (FlowModCommand.MODIFY, FlowModCommand.MODIFY_STRICT)
+
 
 @dataclass
 class FlowMod(Message):

@@ -320,6 +320,17 @@ class IncrementalSolver:
         self.stats.compactions += 1
         self.stats.lemmas_retained += len(keep)
 
+    def lemma_count(self) -> int:
+        """Learned lemmas currently held (a solver-warmth proxy).
+
+        Counts the core solver's live learned clauses plus lemmas
+        carried across earlier compactions (those were re-added to the
+        core as plain clauses, so the two sets are disjoint).  The
+        fleet's re-merge machinery uses this to decide which of two
+        converged contexts' solvers to keep.
+        """
+        return len(self._solver.learned_clauses()) + len(self._kept_lemmas)
+
     def clone(self) -> "IncrementalSolver":
         """An independent copy: same formula, groups, lemmas, heuristics.
 

@@ -211,10 +211,10 @@ class TestSteadyState:
         sim, net, system, _ = star_setup(num_rules=4)
         monitor = system.monitor("hub")
         monitor.start_steady_state()
-        monitor._rebuild_cycle()
         from repro.core.catching import CATCH_PRIORITY
 
-        for key in monitor._cycle_keys:
+        assert len(monitor.scheduler) == 4
+        for key in monitor.scheduler.keys():
             assert key[0] != CATCH_PRIORITY
 
     def test_stop_steady_state(self):

@@ -1,0 +1,434 @@
+"""Tests for the incremental probe scheduler (repro.core.schedule).
+
+The load-bearing property: :class:`RoundRobinPolicy` over the
+delta-maintained key set emits the *same probe sequence* as the
+historical rebuild-per-FlowMod loop (a from-scratch ``_rebuild_cycle``
+reference reimplemented here), under randomized churn — while the
+scheduler's ``cycle_rebuilds`` counter stays at 1 (mirroring the PR 4
+``index_builds`` no-rebuild contract).  Plus policy-specific behavior:
+churn-first promotion with bounded starvation, weighted boosts and
+their starvation bound.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catching import CATCH_PRIORITY
+from repro.core.monitor import MonitorConfig
+from repro.core.multiplexer import MonocleSystem
+from repro.core.schedule import (
+    ProbeScheduler,
+    RecentChurnFirstPolicy,
+    RoundRobinPolicy,
+    WeightedPolicy,
+    make_policy,
+)
+from repro.network import Network
+from repro.openflow.actions import output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.rule import Rule
+from repro.openflow.table import FlowTable
+from repro.sim.kernel import Simulator
+from repro.switches.switch import apply_flowmod
+from repro.topology.generators import star
+
+
+def _rule(priority: int, dst: int, port: int = 1) -> Rule:
+    return Rule(
+        priority=priority,
+        match=Match.build(nw_dst=dst),
+        actions=output(port),
+    )
+
+
+class ReferenceCycler:
+    """The historical Monitor cycle: full rebuild on every FlowMod.
+
+    Byte-for-byte reimplementation of the pre-PR-5
+    ``Monitor._rebuild_cycle`` + ``_next_cycle_rule`` pair (sans the
+    in-flight check): rebuild the key list from the whole table after
+    every operation, keep the cursor where it was.
+    """
+
+    def __init__(self, table: FlowTable) -> None:
+        self.table = table
+        self.keys: list[tuple] = []
+        self.position = 0
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        self.keys = [rule.key() for rule in self.table]
+
+    def next(self) -> Rule | None:
+        if not self.keys:
+            return None
+        for _ in range(len(self.keys)):
+            self.position = (self.position + 1) % len(self.keys)
+            rule = self.table.get(*self.keys[self.position])
+            if rule is None:
+                continue
+            return rule
+        return None
+
+
+def _random_flowmod(rng: random.Random, live: dict) -> FlowMod:
+    """One churn op over a bounded (priority, dst) key pool."""
+    priority = rng.choice((50, 100, 150, 200))
+    dst = 0x0A000000 + rng.randrange(24)
+    key_pool = list(live)
+    roll = rng.random()
+    if live and roll < 0.35:
+        priority, dst = rng.choice(key_pool)
+        command = FlowModCommand.DELETE_STRICT
+    elif live and roll < 0.55:
+        priority, dst = rng.choice(key_pool)
+        command = FlowModCommand.MODIFY_STRICT
+    else:
+        command = FlowModCommand.ADD
+    mod = FlowMod(
+        command=command,
+        match=Match.build(nw_dst=dst),
+        priority=priority,
+        actions=output(1 + rng.randrange(4)),
+    )
+    if command is FlowModCommand.DELETE_STRICT:
+        live.pop((priority, dst), None)
+    else:
+        live[(priority, dst)] = True
+    return mod
+
+
+class TestRoundRobinEquivalence:
+    """Delta maintenance == rebuild-per-FlowMod, probe for probe."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_probe_sequence_identical_under_churn(self, seed):
+        rng = random.Random(seed)
+        table = FlowTable(check_overlap=False)
+        scheduler = ProbeScheduler(policy=RoundRobinPolicy())
+        scheduler.rebuild(table)
+        reference = ReferenceCycler(table)
+        live: dict = {}
+
+        for _ in range(60):
+            mod = _random_flowmod(rng, live)
+            affected = apply_flowmod(table, mod)
+            scheduler.observe_flowmod(mod, affected)
+            reference.rebuild()
+            assert scheduler.keys() == reference.keys
+            for _ in range(rng.randrange(4)):
+                ours = scheduler.next_rule(table)
+                theirs = reference.next()
+                assert (
+                    ours is theirs
+                ), f"diverged: {ours!r} vs {theirs!r} (seed {seed})"
+        # The one construction-time build is the only full iteration.
+        assert scheduler.stats.cycle_rebuilds == 1
+
+    def test_no_rebuild_after_250_step_churn_run(self):
+        """Regression mirroring PR 4's index_builds: a churn-heavy run
+        through a real Monitor must never rebuild the cycle."""
+        sim = Simulator()
+        net = Network(sim, star(4), seed=7)
+        system = MonocleSystem(
+            net, config=MonitorConfig(probe_rate=500.0), dynamic=False
+        )
+        monitor = system.monitor("hub")
+        for i in range(8):
+            system.preinstall_production_rule(
+                "hub", _rule(100, 0x0A000100 + i)
+            )
+        assert monitor.scheduler.stats.cycle_rebuilds == 1
+        rng = random.Random(11)
+        live: dict = {}
+        for _ in range(250):
+            monitor.from_controller(_random_flowmod(rng, live))
+        sim.run_for(0.2)
+        stats = monitor.scheduler.stats
+        assert stats.cycle_rebuilds == 1
+        assert stats.keys_added > 0 and stats.keys_removed > 0
+        # The scheduler's view tracks the expected table exactly.
+        expected_keys = [
+            r.key()
+            for r in monitor.expected
+            if r.priority != CATCH_PRIORITY
+        ]
+        assert monitor.scheduler.keys() == expected_keys
+
+    def test_busy_keys_are_skipped(self):
+        table = FlowTable(check_overlap=False)
+        rules = [_rule(100, 0x0A000000 + i) for i in range(3)]
+        scheduler = ProbeScheduler()
+        for rule in rules:
+            table.install(rule)
+            scheduler.add(rule)
+        busy_key = rules[1].key()
+        served = [
+            scheduler.next_rule(table, busy=lambda k: k == busy_key)
+            for _ in range(4)
+        ]
+        assert busy_key not in [r.key() for r in served]
+
+    def test_infrastructure_rules_excluded(self):
+        scheduler = ProbeScheduler(
+            is_infrastructure=lambda r: r.priority == CATCH_PRIORITY
+        )
+        catch = _rule(CATCH_PRIORITY, 0x0A000001)
+        prod = _rule(100, 0x0A000002)
+        scheduler.add(catch)
+        scheduler.add(prod)
+        assert scheduler.keys() == [prod.key()]
+
+
+class TestRecentChurnFirst:
+    def _setup(self, num_rules=12, max_burst=4):
+        table = FlowTable(check_overlap=False)
+        scheduler = ProbeScheduler(
+            policy=RecentChurnFirstPolicy(max_burst=max_burst)
+        )
+        rules = [_rule(100, 0x0A000000 + i) for i in range(num_rules)]
+        for rule in rules:
+            table.install(rule)
+            scheduler.add(rule)
+        return table, scheduler, rules
+
+    def test_touched_rule_jumps_the_queue(self):
+        table, scheduler, rules = self._setup()
+        hot = rules[-1]
+        scheduler.touch(hot.key(), "churn")
+        assert scheduler.next_rule(table) is hot
+        assert scheduler.stats.scheduler_promotions == 1
+
+    def test_starvation_bounded_full_cycle_completes(self):
+        """Under sustained churn the base cycle still visits every
+        rule within (max_burst + 1) * N ticks."""
+        table, scheduler, rules = self._setup(num_rules=10, max_burst=4)
+        served: set = set()
+        rng = random.Random(3)
+        ticks = 5 * len(rules) + 5
+        for _ in range(ticks):
+            # Adversarial: re-touch a random rule before every tick.
+            scheduler.touch(rng.choice(rules).key(), "churn")
+            rule = scheduler.next_rule(table)
+            assert rule is not None
+            served.add(rule.key())
+        assert served == {rule.key() for rule in rules}
+
+    def test_removed_key_is_not_promoted(self):
+        table, scheduler, rules = self._setup(num_rules=3)
+        doomed = rules[1]
+        scheduler.touch(doomed.key(), "churn")
+        table.remove(doomed)
+        scheduler.discard(doomed.key())
+        for _ in range(4):
+            rule = scheduler.next_rule(table)
+            assert rule is not None and rule.key() != doomed.key()
+
+
+class TestWeighted:
+    def test_boosted_rule_served_more_often(self):
+        table = FlowTable(check_overlap=False)
+        scheduler = ProbeScheduler(policy=WeightedPolicy())
+        rules = [_rule(100, 0x0A000000 + i) for i in range(8)]
+        for rule in rules:
+            table.install(rule)
+            scheduler.add(rule)
+        hot = rules[5]
+        counts: dict = {}
+        for tick in range(64):
+            if tick % 8 == 0:
+                scheduler.record_alarm(hot.key())
+            rule = scheduler.next_rule(table)
+            counts[rule.key()] = counts.get(rule.key(), 0) + 1
+        assert counts[hot.key()] > max(
+            n for key, n in counts.items() if key != hot.key()
+        )
+        assert scheduler.stats.scheduler_promotions > 0
+        assert scheduler.stats.alarm_touches > 0
+
+    def test_every_rule_served_despite_boosts(self):
+        """The weight cap bounds starvation: all rules get probed."""
+        table = FlowTable(check_overlap=False)
+        policy = WeightedPolicy(max_weight=8.0)
+        scheduler = ProbeScheduler(policy=policy)
+        rules = [_rule(100, 0x0A000000 + i) for i in range(6)]
+        for rule in rules:
+            table.install(rule)
+            scheduler.add(rule)
+        served: set = set()
+        for tick in range(int(8.0 * len(rules)) + len(rules)):
+            scheduler.touch(rules[0].key(), "update")
+            rule = scheduler.next_rule(table)
+            assert rule is not None
+            served.add(rule.key())
+        assert served == {rule.key() for rule in rules}
+
+    def test_readd_does_not_resurrect_ghost_entries(self):
+        """Regression: generations are globally monotonic, so a rule
+        removed and re-added can never revive heap entries from its
+        previous incarnation (which would double-serve it and corrupt
+        virtual time)."""
+        table = FlowTable(check_overlap=False)
+        policy = WeightedPolicy()
+        scheduler = ProbeScheduler(policy=policy)
+        a, b = _rule(100, 0x0A000001), _rule(100, 0x0A000002)
+        for rule in (a, b):
+            table.install(rule)
+            scheduler.add(rule)
+        key = a.key()
+        for _ in range(2):
+            scheduler.record_alarm(key)  # leaves superseded heap ghosts
+        scheduler.discard(key)
+        scheduler.add(a)
+        for _ in range(2):
+            scheduler.record_alarm(key)
+        live = policy._gen[key]
+        matching = [
+            entry
+            for entry in policy._heap
+            if entry[2] == key and entry[1] == live
+        ]
+        assert len(matching) == 1
+        # Serving still rotates through both rules.
+        served = {scheduler.next_rule(table).key() for _ in range(6)}
+        assert served == {a.key(), b.key()}
+
+    def test_busy_key_does_not_rewind_virtual_time(self):
+        """Regression: serving a key whose entry sat below the clock
+        while busy must not rewind the stride clock (which would let
+        later boosts leapfrog the whole backlog)."""
+        table = FlowTable(check_overlap=False)
+        policy = WeightedPolicy()
+        scheduler = ProbeScheduler(policy=policy)
+        rules = [_rule(100, 0x0A000000 + i) for i in range(5)]
+        for rule in rules:
+            table.install(rule)
+            scheduler.add(rule)
+        blocked = rules[0].key()
+        for _ in range(12):  # clock advances past blocked's pass value
+            assert scheduler.next_rule(table, busy=lambda k: k == blocked)
+        clock_before = policy._clock
+        served = scheduler.next_rule(table)
+        assert served is not None and served.key() == blocked
+        assert policy._clock >= clock_before
+
+    def test_removed_rule_leaves_the_heap(self):
+        table = FlowTable(check_overlap=False)
+        scheduler = ProbeScheduler(policy=WeightedPolicy())
+        a, b = _rule(100, 0x0A000001), _rule(100, 0x0A000002)
+        for rule in (a, b):
+            table.install(rule)
+            scheduler.add(rule)
+        table.remove(a)
+        scheduler.discard(a.key())
+        for _ in range(4):
+            assert scheduler.next_rule(table) is b
+
+
+class TestPolicyRegistry:
+    def test_make_policy_names(self):
+        assert isinstance(make_policy("round_robin"), RoundRobinPolicy)
+        assert isinstance(make_policy("churn_first"), RecentChurnFirstPolicy)
+        assert isinstance(make_policy("weighted"), WeightedPolicy)
+
+    def test_unknown_policy_rejected(self):
+        try:
+            make_policy("nope")
+        except ValueError as exc:
+            assert "nope" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestMonitorIntegration:
+    """The Monitor serves probes through the scheduler end to end."""
+
+    def _system(self, policy: str):
+        sim = Simulator()
+        net = Network(sim, star(4), seed=5)
+        system = MonocleSystem(
+            net,
+            config=MonitorConfig(probe_rate=500.0),
+            dynamic=False,
+            probe_policy=policy,
+        )
+        rules = []
+        for i in range(6):
+            rule = Rule(
+                priority=100,
+                match=Match.build(nw_dst=0x0A000000 + i),
+                actions=output(net.port_toward["hub"][f"leaf{i % 4}"]),
+            )
+            system.preinstall_production_rule("hub", rule)
+            rules.append(rule)
+        return sim, net, system, rules
+
+    def test_per_switch_policy_selection(self):
+        sim, net, system, _ = self._system("churn_first")
+        assert (
+            system.monitor("hub").scheduler.policy.name == "churn_first"
+        )
+
+    def test_churn_first_probes_churned_rule_promptly(self):
+        sim, net, system, rules = self._system("churn_first")
+        monitor = system.monitor("hub")
+        monitor.start_steady_state()
+        sim.run_for(0.1)
+        mod = FlowMod(
+            command=FlowModCommand.MODIFY_STRICT,
+            match=rules[2].match,
+            priority=rules[2].priority,
+            actions=output(net.port_toward["hub"]["leaf3"]),
+        )
+        promotions = monitor.scheduler.stats.scheduler_promotions
+        monitor.from_controller(mod)
+        sim.run_for(0.05)
+        assert monitor.scheduler.stats.scheduler_promotions > promotions
+
+    def test_confirmed_update_feeds_reprobe_hint(self):
+        """Dynamic-mode confirmation routes the touched rule's key into
+        the scheduler as an update hint; a confirmed deletion (whose
+        rule can no longer be probed) carries none."""
+        sim = Simulator()
+        net = Network(sim, star(4), seed=9)
+        system = MonocleSystem(
+            net,
+            config=MonitorConfig(probe_rate=500.0),
+            dynamic=True,
+            probe_policy="weighted",
+        )
+        monitor = system.monitor("hub")
+        add = FlowMod(
+            command=FlowModCommand.ADD,
+            match=Match.build(nw_dst=0x0A000042),
+            priority=120,
+            actions=output(net.port_toward["hub"]["leaf0"]),
+        )
+        system.send_to_switch("hub", add)
+        sim.run_for(0.3)
+        dynamic = system.dynamic("hub")
+        assert dynamic.updates_confirmed == 1
+        assert monitor.scheduler.stats.update_touches == 1
+        delete = FlowMod(
+            command=FlowModCommand.DELETE_STRICT,
+            match=add.match,
+            priority=add.priority,
+        )
+        system.send_to_switch("hub", delete)
+        sim.run_for(0.5)
+        assert dynamic.updates_confirmed == 2
+        # The deletion confirmed without a hint: nothing left to probe.
+        assert monitor.scheduler.stats.update_touches == 1
+
+    def test_steady_state_still_confirms_under_all_policies(self):
+        for policy in ("round_robin", "churn_first", "weighted"):
+            sim, net, system, _ = self._system(policy)
+            monitor = system.monitor("hub")
+            monitor.start_steady_state()
+            sim.run_for(0.5)
+            assert monitor.probes_confirmed > 0, policy
+            assert monitor.alarms == [], policy

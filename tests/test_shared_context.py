@@ -311,6 +311,78 @@ class TestRededupe:
         h3.add_rule(wave)
         assert h2.table is h3.table and len(h2.table) == 3
 
+    def test_warm_remerge_merges_probe_caches(self):
+        """A fork's probe cache survives re-attachment: results the
+        fork paid for are served as cache hits from the shared entry."""
+        registry = SharedContextRegistry()
+        h1 = registry.acquire(_generator())
+        h2 = registry.acquire(_generator())
+        base = _rule(10, 0x0A000001)
+        extra = _rule(10, 0x0A000002)
+        for handle in (h1, h2):
+            handle.add_rule(base)
+            handle.add_rule(extra)
+        private = _rule(20, 0x0A000003)
+        h2.add_rule(private)
+        for _ in range(h1.MAX_BEHIND_PROBES + 1):
+            h1.probe_for(base)
+        assert h2.forked and not h1.forked
+        # The fork pays a solve for a rule the shared entry never
+        # probed; disjoint dsts keep the entry fresh when the private
+        # rule is reversed below.
+        fork_context = h2._own
+        assert fork_context is not None
+        h2.probe_for(extra)
+        assert fork_context.stats.probes_generated >= 1
+        h2.remove_rule(private)
+        assert registry.rededupe() == 1
+        assert h1.table is h2.table
+        assert registry.stats.cache_entries_merged >= 1
+        # Post-rededupe, either sibling gets the fork's result from the
+        # cache — no fresh solve anywhere.
+        entry = h1._entry
+        assert entry is not None
+        solves = entry.context.stats.probes_generated
+        hits_before = h1.stats.cache_hits
+        result = h1.probe_for(extra)
+        assert result.ok
+        assert entry.context.stats.probes_generated == solves
+        assert h1.stats.cache_hits == hits_before + 1
+
+    def test_warm_remerge_keeps_richer_solver(self):
+        """When the fork's solver holds more learned lemmas than the
+        shared entry's, re-attachment adopts the fork's context instead
+        of dropping it (and grafts the entry's cache onto it)."""
+        registry = SharedContextRegistry()
+        h1, h2, base, private = self._forked_pair(registry)
+        fork_context = h2._own
+        assert fork_context is not None
+        # Make the fork's solver demonstrably warmer (lemma counts are
+        # workload-dependent; pin them for determinism).
+        fork_context.solver._kept_lemmas.append([1])
+        assert (
+            fork_context.solver.lemma_count()
+            > h1._entry.context.solver.lemma_count()
+        )
+        entry_cache_key = base.key()
+        assert entry_cache_key in h1._entry.context._cache
+        h2.remove_rule(private)
+        assert registry.rededupe() == 1
+        entry = h1._entry
+        assert entry is not None
+        assert entry.context is fork_context
+        assert registry.stats.solvers_kept_on_remerge == 1
+        # The entry's cached probe was grafted onto the adopted context.
+        assert entry_cache_key in fork_context._cache
+        solves = fork_context.stats.probes_generated
+        assert h1.probe_for(base).ok
+        assert fork_context.stats.probes_generated == solves
+        # Replicated churn on the re-merged pair still stays deduped.
+        wave = _rule(30, 0x0A000004)
+        h1.add_rule(wave)
+        h2.add_rule(wave)
+        assert h1.table is h2.table
+
     def test_order_sensitive_identity_blocks_false_merges(self):
         """Equal fingerprints with different within-priority order must
         not share state (probe generation consumes table order)."""
