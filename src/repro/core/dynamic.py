@@ -66,6 +66,9 @@ class PendingUpdate:
     #: start time); fed to the scheduler as reprobe hints on confirm.
     #: Empty for deletions — a removed rule cannot be re-probed.
     hint_keys: tuple = ()
+    #: Trace span id tying the update's pending/confirmed/gaveup
+    #: events together (0 when observability is disabled).
+    span: int = 0
 
 
 class DynamicMonitor:
@@ -81,6 +84,12 @@ class DynamicMonitor:
     ) -> None:
         self.monitor = monitor
         self.sim = monitor.sim
+        self.obs = monitor.obs
+        if self.obs.enabled:
+            self._h_confirm = self.obs.metrics.histogram(
+                "monocle_update_confirmation_seconds",
+                node=repr(monitor.node),
+            )
         self.on_confirmed = on_confirmed
         self.send_ack = send_ack
         self.use_drop_postponing = use_drop_postponing
@@ -132,11 +141,31 @@ class DynamicMonitor:
         update.token = self._next_token
         self.pending.append(update)
         self._unconfirmed.add(update.token, *update.mod.match.packed())
+        if self.obs.enabled:
+            update.span = self.obs.next_span()
+            self.obs.emit(
+                "update.pending",
+                node=self.monitor.node,
+                span=update.span,
+                xid=update.mod.xid,
+                command=update.mod.command.name,
+                priority=update.mod.priority,
+                match=update.mod.match,
+                pieces=update.remaining,
+            )
 
     def _give_up(self, update: PendingUpdate) -> None:
         update.gave_up = True
         self.updates_given_up += 1
         self._unconfirmed.discard(update.token)
+        if self.obs.enabled:
+            self.obs.emit(
+                "update.gaveup",
+                node=self.monitor.node,
+                span=update.span or None,
+                xid=update.mod.xid,
+                waited_seconds=self.sim.now - update.started,
+            )
 
     # ----- update lifecycle ------------------------------------------------
 
@@ -401,6 +430,17 @@ class DynamicMonitor:
         update.confirmed = True
         self.updates_confirmed += 1
         self._unconfirmed.discard(update.token)
+        if self.obs.enabled:
+            latency = self.sim.now - update.started
+            self.obs.emit(
+                "update.confirmed",
+                node=self.monitor.node,
+                span=update.span or None,
+                xid=update.mod.xid,
+                latency_seconds=latency,
+                monitorable=monitorable,
+            )
+            self._h_confirm.observe(latency)
         if update.finalize is not None:
             # Drop-postponing: swap the real drop rule in (§4.3).
             self.monitor.from_controller(update.finalize)

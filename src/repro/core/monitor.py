@@ -30,6 +30,7 @@ from repro.core.probegen import (
     UnmonitorableReason,
 )
 from repro.core.schedule import ProbeScheduler
+from repro.obs import NULL_OBSERVER
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.fields import FieldName
 from repro.openflow.messages import FlowMod, Message, PacketIn
@@ -118,6 +119,9 @@ class OutstandingProbe:
     #: (a transient inconsistency, §4.1) instead of alarming on them.
     tolerate_anti: bool = False
     done: bool = False
+    #: Trace span id tying this probe's lifecycle events together
+    #: (0 when observability is disabled).
+    span: int = 0
 
 
 class Monitor:
@@ -145,6 +149,7 @@ class Monitor:
         inject_probe: Callable[[bytes, int], None] | None = None,
         probe_context=None,
         scheduler: ProbeScheduler | None = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -188,6 +193,20 @@ class Monitor:
         self.probes_timed_out = 0
         self.rules_unmonitorable = 0
         self.stale_probes = 0
+        #: Observability: every hot-path publication site guards on
+        #: ``obs.enabled``, so the default NULL_OBSERVER costs one
+        #: attribute read per site (gated by BENCH_obs.json).
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        if self.obs.enabled:
+            label = repr(node)
+            self._h_wait = self.obs.metrics.histogram(
+                "monocle_scheduler_wait_seconds", node=label
+            )
+            self._h_wire = self.obs.metrics.histogram(
+                "monocle_probe_wire_seconds", node=label
+            )
+            scheduler.set_clock(lambda: sim.now)
+            probe_context.attach_obs(self.obs, node)
 
     # ----- expected-table maintenance --------------------------------------
 
@@ -218,6 +237,16 @@ class Monitor:
         """
         affected = self.probe_context.apply_flowmod(mod)
         self.scheduler.observe_flowmod(mod, affected)
+        if self.obs.enabled:
+            self.obs.emit(
+                "flowmod.observed",
+                node=self.node,
+                xid=mod.xid,
+                command=mod.command.name,
+                priority=mod.priority,
+                match=mod.match,
+                affected=len(affected),
+            )
 
     # ----- proxy data path ---------------------------------------------------
 
@@ -301,10 +330,55 @@ class Monitor:
         if not self._steady_running:
             return
         self.sim.schedule(1.0 / self.config.probe_rate, self._steady_tick)
+        obs = self.obs
+        tracing = obs.enabled
+        if tracing:
+            promoted_before = self.scheduler.stats.scheduler_promotions
         rule = self.scheduler.next_rule(self.expected, busy=self._in_flight)
         if rule is None:
             return
+        span = 0
+        if tracing:
+            span = obs.next_span()
+            wait = self.scheduler.take_wait(rule.key())
+            if self.scheduler.stats.scheduler_promotions > promoted_before:
+                obs.emit(
+                    "scheduler.promoted",
+                    node=self.node,
+                    span=span,
+                    priority=rule.priority,
+                    match=rule.match,
+                )
+            if wait is not None:
+                self._h_wait.observe(wait)
+            genstats = self.probe_context.stats
+            before = (
+                genstats.cache_hits,
+                genstats.revalidations,
+                genstats.probes_generated,
+                genstats.generation_seconds,
+            )
         result = self.probe_for_rule(rule)
+        if tracing:
+            genstats = self.probe_context.stats
+            if genstats.probes_generated > before[2]:
+                source = "solve"
+            elif genstats.revalidations > before[1]:
+                source = "revalidate"
+            else:
+                source = "cache"
+            obs.emit(
+                "probe.generated",
+                node=self.node,
+                span=span,
+                priority=rule.priority,
+                match=rule.match,
+                cookie=rule.cookie,
+                source=source,
+                ok=result.ok,
+                solve_seconds=genstats.generation_seconds - before[3],
+                wait_seconds=wait,
+            )
         if not result.ok:
             self.rules_unmonitorable += 1
             return
@@ -312,6 +386,7 @@ class Monitor:
             result,
             confirm_on="present",
             on_alarm=self._steady_alarm,
+            span=span,
         )
 
     def _in_flight(self, key: tuple) -> bool:
@@ -330,6 +405,17 @@ class Monitor:
                 detail=f"nonce={probe.nonce}",
             )
         )
+        if self.obs.enabled:
+            rule = probe.result.rule
+            self.obs.emit(
+                "alarm.raised",
+                node=self.node,
+                span=probe.span or None,
+                kind=kind,
+                cookie=rule.cookie,
+                priority=rule.priority,
+                match=rule.match,
+            )
         # Alarm history feeds the scheduler: weighted policies re-visit
         # misbehaving rules sooner.
         self.scheduler.record_alarm(probe.result.rule.key())
@@ -350,6 +436,7 @@ class Monitor:
         retry_backoff: float = 1.0,
         max_retry_interval: float = 0.050,
         tolerate_anti: bool = False,
+        span: int = 0,
     ) -> OutstandingProbe:
         """Inject a probe and track it to confirmation or timeout.
 
@@ -365,6 +452,10 @@ class Monitor:
         assert result.ok and result.header is not None
         assert result.outcome_present is not None
         assert result.outcome_absent is not None
+        if self.obs.enabled and span == 0:
+            # Probes launched outside the steady cycle (dynamic-mode
+            # update confirmations) still get their own lifecycle span.
+            span = self.obs.next_span()
         nonce = next(_nonce_counter)
         if present_obs is None:
             present_obs = outcome_observations(
@@ -387,6 +478,7 @@ class Monitor:
             on_alarm=on_alarm,
             confirm_on=confirm_on,
             tolerate_anti=tolerate_anti,
+            span=span,
         )
         self.outstanding[nonce] = probe
         self._inject(probe)
@@ -429,6 +521,14 @@ class Monitor:
         packet = craft_packet(header, metadata.encode())
         in_port = header.get(FieldName.IN_PORT, 0)
         self.probes_sent += 1
+        if self.obs.enabled:
+            self.obs.emit(
+                "probe.sent",
+                node=self.node,
+                span=probe.span or None,
+                nonce=probe.nonce,
+                in_port=in_port,
+            )
         self.inject_probe(packet, in_port)
 
     def _schedule_retry(
@@ -454,6 +554,22 @@ class Monitor:
 
         self.sim.schedule(gap, retry)
 
+    def _observe_probe_end(
+        self, probe: OutstandingProbe, etype: str, negative: bool
+    ) -> None:
+        """Trace a probe's resolution and record its wire latency."""
+        wire = self.sim.now - probe.first_injected
+        self.obs.emit(
+            etype,
+            node=self.node,
+            span=probe.span or None,
+            nonce=probe.nonce,
+            negative=negative,
+            wire_seconds=wire,
+        )
+        if etype == "probe.confirmed" and not negative:
+            self._h_wire.observe(wire)
+
     def invalidate_probe(self, probe: OutstandingProbe) -> None:
         """Cancel an in-flight probe (its table context became stale)."""
         probe.done = True
@@ -472,10 +588,14 @@ class Monitor:
         if not expecting_return:
             # Negative probing (§3.3): silence is (weak) success.
             self.probes_confirmed += 1
+            if self.obs.enabled:
+                self._observe_probe_end(probe, "probe.confirmed", True)
             if probe.on_confirm is not None:
                 probe.on_confirm(probe)
             return
         self.probes_timed_out += 1
+        if self.obs.enabled:
+            self._observe_probe_end(probe, "probe.timeout", False)
         if probe.on_alarm is not None:
             probe.on_alarm(probe, "missing")
 
@@ -521,6 +641,8 @@ class Monitor:
             if probe.timeout_event is not None:
                 probe.timeout_event.cancel()
             self.probes_confirmed += 1
+            if self.obs.enabled:
+                self._observe_probe_end(probe, "probe.confirmed", False)
             if probe.on_confirm is not None:
                 probe.on_confirm(probe)
         elif observation in anti:

@@ -33,6 +33,7 @@ from repro.core.monitor import Monitor, MonitorConfig
 from repro.core.probegen import ProbeGenerator
 from repro.core.schedule import ProbeScheduler, make_policy
 from repro.core.shared import SharedContextRegistry
+from repro.obs import NULL_OBSERVER, NullObserver, Observer
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.messages import Message, PacketIn, PacketOut
 from repro.packets.parse import ParseError, parse_packet
@@ -143,9 +144,11 @@ class MonocleSystem:
         use_drop_postponing: bool = False,
         shared_contexts: "SharedContextRegistry | None" = None,
         probe_policy: "str | Mapping | Callable" = "round_robin",
+        obs: "Observer | NullObserver | None" = None,
     ) -> None:
         self.network = network
         self.sim = network.sim
+        self.obs = obs if obs is not None else NULL_OBSERVER
         self.config = config if config is not None else MonitorConfig()
         self.controller_handler = controller_handler
         self.probe_policy = probe_policy
@@ -217,6 +220,7 @@ class MonocleSystem:
             scheduler=ProbeScheduler(
                 policy=make_policy(self._policy_name(node))
             ),
+            obs=self.obs,
         )
         if probe_context is None:
             for rule in catch_rules:

@@ -33,6 +33,7 @@ from repro.core.constraints import (
     DistinguishEncoding,
     IncrementalProbeEncoder,
 )
+from repro.obs import NULL_OBSERVER
 from repro.openflow.fields import FieldName, HEADER
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod
@@ -406,6 +407,8 @@ class ProbeGenContext:
         #: many guards beyond twice the live table (see _maybe_rebuild).
         self.rebuild_floor = rebuild_floor
         self.stats = ProbeGenContextStats()
+        self.obs = NULL_OBSERVER
+        self._obs_node: object | None = None
         self._cache: dict[tuple[int, Match], ProbeResult] = {}
         self._stale: set[tuple[int, Match]] = set()
         #: Tuple-space index over the cached probes' rule matches, so a
@@ -429,6 +432,21 @@ class ProbeGenContext:
         #: retained-variable budget.
         self._chains: dict[tuple[int, Match], tuple[int, tuple]] = {}
         self._chain_vars = 0
+
+    def attach_obs(self, obs: object, node: object) -> None:
+        """Publish solve timings through an observer.
+
+        Called by the owning Monitor once observability is enabled; the
+        default :data:`~repro.obs.NULL_OBSERVER` path never reaches
+        here, so an unobserved context pays a single ``.enabled`` read
+        per solve.
+        """
+        self.obs = obs
+        self._obs_node = node
+        if obs.enabled:  # type: ignore[attr-defined]
+            self._h_solve = obs.metrics.histogram(  # type: ignore[attr-defined]
+                "monocle_probegen_solve_seconds", node=repr(node)
+            )
 
     def _maybe_rebuild(self) -> None:
         """Bound encoder growth under non-recycled churn.
@@ -576,6 +594,10 @@ class ProbeGenContext:
         dup.validate_result = self.validate_result
         dup.rebuild_floor = self.rebuild_floor
         dup.stats = replace(self.stats)
+        dup.obs = self.obs
+        dup._obs_node = self._obs_node
+        if dup.obs.enabled:
+            dup._h_solve = self._h_solve
         # Cached ProbeResults are immutable once stored, so sharing the
         # objects (not the dicts) across the fork is safe.
         dup._cache = dict(self._cache)
@@ -817,3 +839,5 @@ class ProbeGenContext:
         finally:
             result.generation_time = time.perf_counter() - start
             self.stats.generation_seconds += result.generation_time
+            if self.obs.enabled:
+                self._h_solve.observe(result.generation_time)

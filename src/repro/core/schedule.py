@@ -392,7 +392,31 @@ class ProbeScheduler:
         self._okey: dict[RuleKey, tuple[int, int]] = {}
         self._seq = 0
         self.stats = SchedulerStats()
+        #: Optional sim clock enabling touch -> serve wait tracking
+        #: (observability); ``None`` keeps the disabled path free.
+        self.clock: Callable[[], float] | None = None
+        self._touched_at: dict[RuleKey, float] = {}
         self.policy.bind(self)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Enable scheduler-wait measurement against ``clock``.
+
+        Once set, every :meth:`touch` stamps the key; the observer pops
+        the stamp when the rule is finally served
+        (:meth:`take_wait`) — the difference is the *scheduler wait*,
+        how long a churn/update/alarm signal sat in the queue before
+        its probe went out.
+        """
+        self.clock = clock
+
+    def take_wait(self, key: RuleKey) -> float | None:
+        """Seconds since ``key`` was last touched (consumed), if known."""
+        if self.clock is None:
+            return None
+        touched = self._touched_at.pop(key, None)
+        if touched is None:
+            return None
+        return self.clock() - touched
 
     # ----- introspection ---------------------------------------------------
 
@@ -456,6 +480,8 @@ class ProbeScheduler:
         index = bisect_left(self._order, okey)
         del self._order[index]
         del self._keys[index]
+        if self._touched_at:
+            self._touched_at.pop(key, None)
         self.stats.keys_removed += 1
         self.policy.on_remove(key)
 
@@ -488,6 +514,10 @@ class ProbeScheduler:
             self.stats.alarm_touches += 1
         else:
             self.stats.churn_touches += 1
+        if self.clock is not None and key not in self._touched_at:
+            # First touch wins: the wait measures signal -> probe, and
+            # repeated touches before service must not shrink it.
+            self._touched_at[key] = self.clock()
         self.policy.on_touch(key, kind)
 
     def note_update(self, key: RuleKey) -> None:

@@ -59,6 +59,7 @@ from repro.core.probegen import (
     ProbeGenerator,
     ProbeResult,
 )
+from repro.obs import NULL_OBSERVER
 from repro.openflow.messages import FlowMod
 from repro.openflow.match import Match
 from repro.openflow.rule import Rule
@@ -413,6 +414,8 @@ class SharedProbeGenContext:
         self.generator = generator
         self.validate_result = validate_result
         self.stats = ProbeGenContextStats()
+        self._obs = NULL_OBSERVER
+        self._obs_node: object | None = None
         self.forked = False
         self._log_pos = entry.head()
         #: This switch's own table: same (priority, match, actions)
@@ -458,6 +461,18 @@ class SharedProbeGenContext:
             return self._own
         assert self._entry is not None
         return self._entry.context
+
+    def attach_obs(self, obs: object, node: object) -> None:
+        """Publish this handle's lifecycle + solve timings.
+
+        Solve-time attribution on a *shared* context is inherently
+        approximate — replicas take turns on one solver, and the
+        context's histogram label follows the last attacher — but the
+        fork/remerge trace events are exact and per-handle.
+        """
+        self._obs = obs
+        self._obs_node = node
+        self._context().attach_obs(node=node, obs=obs)
 
     # ----- delta API -------------------------------------------------------
 
@@ -631,6 +646,15 @@ class SharedProbeGenContext:
         self._registry.stats.contexts_forked += 1
         self._registry.forked.append(self)
         self._registry._detach(entry, self)
+        if self._obs.enabled:  # type: ignore[attr-defined]
+            assert self._own is not None
+            self._own.attach_obs(self._obs, self._obs_node)
+            self._obs.emit(  # type: ignore[attr-defined]
+                "context.forked",
+                node=self._obs_node,
+                warm=self._own.solver.lemma_count() > 0,
+                total_forked=self._registry.stats.contexts_forked,
+            )
         if self._registry.on_fork is not None:
             self._registry.on_fork()
 
@@ -669,6 +693,13 @@ class SharedProbeGenContext:
         self._behind_probes = 0
         self._validated.clear()
         entry.handles.append(self)
+        if self._obs.enabled:  # type: ignore[attr-defined]
+            self._obs.emit(  # type: ignore[attr-defined]
+                "context.remerged",
+                node=self._obs_node,
+                mode="reattach",
+                sharers=len(entry.handles),
+            )
 
     def _promote(self) -> _SharedEntry:
         """Turn this forked handle's private context into a shared entry.
@@ -686,6 +717,13 @@ class SharedProbeGenContext:
         self._behind_probes = 0
         entry.handles.append(self)
         self._registry.entries.append(entry)
+        if self._obs.enabled:  # type: ignore[attr-defined]
+            self._obs.emit(  # type: ignore[attr-defined]
+                "context.remerged",
+                node=self._obs_node,
+                mode="promote",
+                sharers=len(entry.handles),
+            )
         return entry
 
     # ----- probe serving ---------------------------------------------------

@@ -29,6 +29,7 @@ from repro.core.multiplexer import MonocleSystem
 from repro.core.schedule import SchedulerStats
 from repro.core.shared import SharedContextRegistry, SharedContextStats
 from repro.network.network import Network
+from repro.obs import NULL_OBSERVER, NullObserver, Observer
 from repro.openflow.messages import Message
 from repro.openflow.rule import Rule
 from repro.sim.kernel import Simulator
@@ -65,6 +66,10 @@ class FleetDeployment:
             fleet, a node -> name mapping, or a callable
             ``node -> name`` (``round_robin``, ``churn_first`` or
             ``weighted``).
+        obs: an :class:`~repro.obs.Observer` to thread through every
+            layer (sim-time trace + live metrics); defaults to the
+            disabled :data:`~repro.obs.NULL_OBSERVER`, whose hot path
+            is a single attribute read.
     """
 
     def __init__(
@@ -85,11 +90,14 @@ class FleetDeployment:
         probe_policy: str
         | Mapping[Hashable, str]
         | Callable[[Hashable], str] = "round_robin",
+        obs: Observer | NullObserver | None = None,
     ) -> None:
         if topology.number_of_nodes() == 0:
             raise ValueError("cannot deploy a fleet on an empty topology")
         self.topology = topology
         self.sim = Simulator()
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        self.obs.install(self.sim)
         self.seed = seed
         self.dynamic = dynamic
         self.rng = DeterministicRandom(seed).fork(0xF1EE7)
@@ -124,7 +132,10 @@ class FleetDeployment:
             use_drop_postponing=use_drop_postponing,
             shared_contexts=self.shared_contexts,
             probe_policy=probe_policy,
+            obs=self.obs,
         )
+        if self.obs.enabled:
+            self.obs.metrics.add_collect_hook(self._sync_obs_metrics)
         self.controller = SdnController(
             self.sim, send=self.system.send_to_switch
         )
@@ -173,6 +184,70 @@ class FleetDeployment:
             registry.rededupe()
         if registry.forked:
             self._arm_rededupe()
+
+    def _sync_obs_metrics(self) -> None:
+        """Registry collect hook: mirror live stats into obs instruments.
+
+        Runs before every metrics snapshot / exposition, so the hot
+        monitoring paths never pay per-event counter updates — the
+        counters are synced from the stats the layers already keep,
+        and the gauges read live structure sizes.
+        """
+        registry = self.obs.metrics
+
+        def sync(name: str, value: float, **labels: str) -> None:
+            counter = registry.counter(name, **labels)
+            counter.inc(value - counter.value)
+
+        for node in self.nodes:
+            label = repr(node)
+            monitor = self.monitor(node)
+            sync("monocle_probes_sent_total", monitor.probes_sent,
+                 node=label)
+            sync("monocle_probes_confirmed_total",
+                 monitor.probes_confirmed, node=label)
+            sync("monocle_probes_timed_out_total",
+                 monitor.probes_timed_out, node=label)
+            sync("monocle_alarms_total", len(monitor.alarms), node=label)
+            context = monitor.probe_context
+            genstats = context.stats
+            sync("monocle_probegen_solves_total",
+                 genstats.probes_generated, node=label)
+            sync("monocle_probe_cache_hits_total", genstats.cache_hits,
+                 node=label)
+            sync("monocle_probe_revalidations_total",
+                 genstats.revalidations, node=label)
+            registry.gauge("monocle_outstanding_probes", node=label).set(
+                len(monitor.outstanding)
+            )
+            registry.gauge("monocle_cycle_keys", node=label).set(
+                len(monitor.scheduler)
+            )
+            solver = getattr(context, "solver", None)
+            if solver is None and hasattr(context, "_context"):
+                # Shared handle: read the backing context's solver.
+                solver = context._context().solver
+            if solver is not None:
+                health = solver.health()
+                registry.gauge("monocle_solver_clauses", node=label).set(
+                    health["num_clauses"]
+                )
+                registry.gauge("monocle_solver_lemmas", node=label).set(
+                    health["lemma_count"]
+                )
+            dyn = self.system.dynamics.get(node)
+            if dyn is not None:
+                sync("monocle_updates_confirmed_total",
+                     dyn.updates_confirmed, node=label)
+                sync("monocle_updates_given_up_total",
+                     dyn.updates_given_up, node=label)
+        if self.shared_contexts is not None:
+            stats = self.shared_contexts.stats
+            registry.gauge("monocle_contexts_forked").set(
+                len(self.shared_contexts.forked)
+            )
+            sync("monocle_contexts_forked_total", stats.contexts_forked)
+            sync("monocle_contexts_remerged_total", stats.contexts_remerged)
 
     # ----- accessors -------------------------------------------------------
 

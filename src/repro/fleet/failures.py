@@ -319,6 +319,19 @@ def schedule_failures(
                 record.nodes = set()
                 record.cookies = set()
                 record.description = f"injection failed: {exc}"
+            if deployment.obs.enabled:
+                # One trace event per armed failure, stamped at the
+                # injection's exact sim time: trace-only detection
+                # replay (repro.obs.analyze) keys off this record.
+                deployment.obs.emit(
+                    "failure.injected",
+                    kind=record.kind,
+                    nodes=sorted(repr(n) for n in record.nodes),
+                    cookies=sorted(record.cookies),
+                    broad=record.broad,
+                    description=record.description,
+                    error=record.error,
+                )
 
         deployment.sim.at(spec.at, fire)
     return injections

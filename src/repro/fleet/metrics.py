@@ -13,8 +13,9 @@ Collects, from a finished :class:`~repro.fleet.deployment.FleetDeployment`:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Any, Hashable
 
 from repro.analysis.stats import Summary, summarize
 from repro.core.monitor import MonitorAlarm
@@ -107,6 +108,11 @@ class FleetMetrics:
     alarm_timeline: list[tuple[float, str, str, str]] = field(
         default_factory=list
     )
+    #: Periodic sim-time metric snapshots from the deployment's
+    #: observer (empty when observability is disabled); consecutive
+    #: deltas are the probes/s / alarms/s time series the report's
+    #: timeline section renders.
+    obs_snapshots: list[dict[str, Any]] = field(default_factory=list)
 
     # ----- aggregates -----------------------------------------------------
 
@@ -164,6 +170,92 @@ class FleetMetrics:
             for d in self.detections
             if (latency := d.latency) is not None
         ]
+
+    # ----- machine-readable export ----------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """The full metrics bundle as a JSON-ready dict.
+
+        Everything the prose report renders (per-switch rows, detection
+        records, aggregates) plus the raw material it summarizes, so
+        downstream tooling consumes ``repro-fleet --json-out`` instead
+        of parsing report text.  Nodes are ``repr()``-encoded, exactly
+        as in the trace JSONL schema.
+        """
+        per_switch = []
+        for m in self.per_switch:
+            row = dataclasses.asdict(m)
+            row["node"] = repr(m.node)
+            row["probe_rate"] = m.probe_rate(self.duration)
+            per_switch.append(row)
+        detections = []
+        for d in self.detections:
+            injection = d.injection
+            detections.append(
+                {
+                    "kind": injection.kind,
+                    "injected_at": injection.time,
+                    "nodes": sorted(repr(n) for n in injection.nodes),
+                    "cookies": sorted(injection.cookies),
+                    "broad": injection.broad,
+                    "description": injection.description,
+                    "error": injection.error,
+                    "detected": d.detected,
+                    "detected_at": d.detected_at,
+                    "detected_on": (
+                        None
+                        if d.detected_on is None
+                        else repr(d.detected_on)
+                    ),
+                    "alarm_kind": d.alarm_kind,
+                    "latency": d.latency,
+                }
+            )
+        return {
+            "duration": self.duration,
+            "per_switch": per_switch,
+            "detections": detections,
+            "false_alarms": [
+                {
+                    "node": repr(node),
+                    "time": alarm.time,
+                    "kind": alarm.kind,
+                    "match": repr(alarm.rule.match),
+                    "priority": alarm.rule.priority,
+                }
+                for node, alarm in self.false_alarms
+            ],
+            "confirmation_latency": (
+                None
+                if self.confirmation_latency is None
+                else dataclasses.asdict(self.confirmation_latency)
+            ),
+            "alarm_timeline": [list(row) for row in self.alarm_timeline],
+            "obs_snapshots": self.obs_snapshots,
+            "aggregates": {
+                "probes_sent": self.probes_sent,
+                "probes_confirmed": self.probes_confirmed,
+                "packetout_total": self.packetout_total,
+                "packetin_total": self.packetin_total,
+                "probes_generated": self.probes_generated,
+                "probe_cache_hits": self.probe_cache_hits,
+                "probe_revalidations": self.probe_revalidations,
+                "probegen_seconds": self.probegen_seconds,
+                "cycle_rebuilds": self.cycle_rebuilds,
+                "scheduler_promotions": self.scheduler_promotions,
+                "probes_routed": self.probes_routed,
+                "probes_unroutable": self.probes_unroutable,
+                "updates_confirmed": self.updates_confirmed,
+                "updates_given_up": self.updates_given_up,
+                "tables_fingerprinted": self.tables_fingerprinted,
+                "contexts_created": self.contexts_created,
+                "contexts_deduped": self.contexts_deduped,
+                "contexts_forked": self.contexts_forked,
+                "contexts_remerged": self.contexts_remerged,
+                "all_detected": self.all_detected,
+                "detection_latencies": self.detection_latencies,
+            },
+        }
 
 
 def collect_fleet_metrics(
@@ -246,6 +338,22 @@ def collect_fleet_metrics(
         d.updates_given_up for d in deployment.system.dynamics.values()
     )
 
+    obs_snapshots: list[dict[str, Any]] = []
+    if deployment.obs.enabled:
+        # Final snapshot at collection time (runs the collect hooks, so
+        # the registry is sync'd with the stats aggregated above), then
+        # cross-check the two accounting paths against each other.
+        deployment.obs.snapshot_now()
+        obs_snapshots = list(deployment.obs.metrics.snapshots)
+        if deployment.obs.enabled:
+            h = deployment.obs.metrics.histogram(
+                "monocle_detection_latency_seconds"
+            )
+            for record in detections:
+                if (latency := record.latency) is not None:
+                    h.observe(latency)
+        _crosscheck_registry(deployment, per_switch)
+
     shared = deployment.shared_context_stats()
     return FleetMetrics(
         duration=duration,
@@ -263,4 +371,49 @@ def collect_fleet_metrics(
         contexts_forked=shared.contexts_forked,
         contexts_remerged=shared.contexts_remerged,
         alarm_timeline=timeline,
+        obs_snapshots=obs_snapshots,
     )
+
+
+def _crosscheck_registry(
+    deployment: FleetDeployment, per_switch: list[SwitchMetrics]
+) -> None:
+    """Assert the live registry agrees with the post-mortem counters.
+
+    Two independent accounting paths exist once observability is on:
+    the metrics registry (synced by the deployment's collect hook) and
+    this module's direct scrape of monitor/context stats.  They must
+    agree exactly — a divergence means a publication site was missed
+    or double-counted, which is precisely the failure mode a
+    self-observing monitor must catch in itself.
+    """
+    registry = deployment.obs.metrics
+    expected = {
+        "monocle_probes_sent_total": sum(
+            m.probes_sent for m in per_switch
+        ),
+        "monocle_probes_confirmed_total": sum(
+            m.probes_confirmed for m in per_switch
+        ),
+        "monocle_probes_timed_out_total": sum(
+            m.probes_timed_out for m in per_switch
+        ),
+        "monocle_alarms_total": sum(m.alarms for m in per_switch),
+        "monocle_probegen_solves_total": sum(
+            m.probes_generated for m in per_switch
+        ),
+        "monocle_probe_cache_hits_total": sum(
+            m.probe_cache_hits for m in per_switch
+        ),
+        "monocle_updates_confirmed_total": sum(
+            d.updates_confirmed
+            for d in deployment.system.dynamics.values()
+        ),
+    }
+    for family, total in expected.items():
+        live = registry.family_total(family)
+        if live != total:
+            raise AssertionError(
+                f"observability registry diverged from fleet metrics: "
+                f"{family} is {live} live vs {total} scraped"
+            )

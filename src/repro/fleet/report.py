@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.analysis import format_table
 from repro.fleet.metrics import FleetMetrics
+from repro.obs.metrics import window_rates
 
 
 def format_fleet_report(metrics: FleetMetrics) -> str:
@@ -126,4 +129,48 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
         f"detection: {detected}/{len(metrics.detections)} injected failures "
         f"detected, {len(metrics.false_alarms)} false alarms"
     )
+
+    timeline_section = _format_timeline(metrics.obs_snapshots)
+    if timeline_section:
+        lines.append("")
+        lines.extend(timeline_section)
     return "\n".join(lines)
+
+
+def _format_timeline(snapshots: list[dict[str, Any]]) -> list[str]:
+    """Sim-time-windowed rates from the observer's metric snapshots.
+
+    Empty when observability was off (or only one snapshot exists —
+    rates need a window).  All values derive from sim-time counters,
+    so the section is as deterministic as the rest of the report.
+    """
+    if len(snapshots) < 2:
+        return []
+    probes = dict(window_rates(snapshots, "monocle_probes_sent_total"))
+    alarms = dict(window_rates(snapshots, "monocle_alarms_total"))
+    solves = dict(window_rates(snapshots, "monocle_probegen_solves_total"))
+    hits = dict(
+        window_rates(snapshots, "monocle_probe_cache_hits_total")
+    )
+    rows = []
+    for ts in sorted(probes):
+        solve_rate = solves.get(ts, 0.0)
+        hit_rate = hits.get(ts, 0.0)
+        served = solve_rate + hit_rate
+        ratio = f"{hit_rate / served:.2f}" if served > 0 else "-"
+        rows.append(
+            [
+                f"{ts:.2f}",
+                f"{probes.get(ts, 0.0):.0f}",
+                f"{alarms.get(ts, 0.0):.1f}",
+                f"{solve_rate:.1f}",
+                ratio,
+            ]
+        )
+    return [
+        "timeline (sim-time windowed rates from obs snapshots):",
+        format_table(
+            ["t", "probes/s", "alarms/s", "solves/s", "cache-hit"],
+            rows,
+        ),
+    ]

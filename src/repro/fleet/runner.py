@@ -17,6 +17,7 @@ smoke runs use 0.1), ``REPRO_BENCH_SEED`` overrides the default seed.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 from dataclasses import dataclass, field, replace
 from typing import Callable
@@ -37,6 +38,7 @@ from repro.fleet.failures import (
 )
 from repro.fleet.metrics import FleetMetrics, collect_fleet_metrics
 from repro.fleet.report import format_fleet_report
+from repro.obs import NullObserver, Observer
 from repro.fleet.workloads import (
     BackgroundTraffic,
     RuleChurn,
@@ -115,6 +117,20 @@ class ScenarioSpec:
     #: directly): ``round_robin`` (§3 baseline), ``churn_first``
     #: (recently-churned rules jump the queue) or ``weighted``.
     probe_policy: str = "round_robin"
+    #: Observability (:mod:`repro.obs`).  Tracing + live metrics turn
+    #: on when ``observe`` is True or any output/interval below is
+    #: set; the default leaves the NullObserver's no-op path in place.
+    observe: bool = False
+    #: Write the trace as JSONL / Chrome ``trace_event`` after the run.
+    trace_out: str | None = None
+    trace_chrome: str | None = None
+    #: Write the Prometheus text exposition after the run.
+    metrics_out: str | None = None
+    #: Sim seconds between metric snapshots (the report's timeline
+    #: granularity); None picks duration/10 when observing.
+    obs_snapshot_interval: float | None = None
+    #: Trace ring-buffer bound (events retained).
+    trace_capacity: int = 65536
 
     # ----- validation -----------------------------------------------------
 
@@ -155,6 +171,18 @@ class ScenarioSpec:
         if self.rules_per_switch < 0:
             raise ScenarioError(
                 f"rules_per_switch must be >= 0: {self.rules_per_switch}"
+            )
+        if (
+            self.obs_snapshot_interval is not None
+            and self.obs_snapshot_interval < 0
+        ):
+            raise ScenarioError(
+                f"obs_snapshot_interval must be >= 0: "
+                f"{self.obs_snapshot_interval}"
+            )
+        if self.trace_capacity < 1:
+            raise ScenarioError(
+                f"trace_capacity must be >= 1: {self.trace_capacity}"
             )
         if self.size < 1:
             raise ScenarioError(f"size must be >= 1: {self.size}")
@@ -198,6 +226,29 @@ class ScenarioSpec:
             update_deadline=self.update_deadline,
         )
 
+    @property
+    def wants_observer(self) -> bool:
+        """Does this spec need live tracing + metrics?"""
+        return bool(
+            self.observe
+            or self.trace_out
+            or self.trace_chrome
+            or self.metrics_out
+            or self.obs_snapshot_interval
+        )
+
+    def build_observer(self) -> "Observer | None":
+        """The spec's observer, or None for the NullObserver default."""
+        if not self.wants_observer:
+            return None
+        interval = self.obs_snapshot_interval
+        if interval is None:
+            interval = self.duration / 10.0
+        return Observer(
+            trace_capacity=self.trace_capacity,
+            snapshot_interval=interval or None,
+        )
+
 
 @dataclass
 class ScenarioResult:
@@ -207,10 +258,39 @@ class ScenarioResult:
     deployment: FleetDeployment
     injections: list[Injection]
     metrics: FleetMetrics
+    #: The deployment's observer — an :class:`~repro.obs.Observer`
+    #: when the spec asked for observability, else the NullObserver.
+    observer: "Observer | NullObserver | None" = None
+    #: Human-readable lines describing the artifacts :meth:`export`
+    #: wrote (run_scenario exports once, right after collection).
+    exported: list[str] = field(default_factory=list)
 
     def report(self) -> str:
         """The formatted fleet report."""
         return format_fleet_report(self.metrics)
+
+    def export(self) -> list[str]:
+        """Write the spec's requested artifacts; returns what was written."""
+        written: list[str] = []
+        spec = self.spec
+        obs = self.observer
+        if obs is None or not obs.enabled:
+            return written
+        if spec.trace_out:
+            count = obs.trace.export_jsonl(spec.trace_out)
+            written.append(f"{spec.trace_out} ({count} trace events)")
+        if spec.trace_chrome:
+            count = obs.trace.export_chrome(spec.trace_chrome)
+            written.append(
+                f"{spec.trace_chrome} (chrome trace, {count} events)"
+            )
+        if spec.metrics_out:
+            text = obs.metrics.prometheus_text()
+            with open(spec.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            written.append(f"{spec.metrics_out} (prometheus exposition)")
+        self.exported = written
+        return written
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
@@ -222,6 +302,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     ``spec.duration`` simulated seconds, and aggregate fleet metrics.
     """
     spec.validate()
+    observer = spec.build_observer()
     try:
         deployment = FleetDeployment(
             spec.build_topology(),
@@ -233,6 +314,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
             algorithm=ALGORITHMS[spec.algorithm],
             share_contexts=spec.share_contexts,
             probe_policy=spec.probe_policy,
+            obs=observer,
         )
     except CapacityError as exc:
         raise ScenarioError(str(exc)) from exc
@@ -252,12 +334,15 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         workloads=workloads,
         duration=spec.duration,
     )
-    return ScenarioResult(
+    result = ScenarioResult(
         spec=spec,
         deployment=deployment,
         injections=injections,
         metrics=metrics,
+        observer=deployment.obs,
     )
+    result.export()
+    return result
 
 
 # ----- command-line entry point -------------------------------------------
@@ -340,6 +425,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="rule-corruption failures to inject")
     parser.add_argument("--link-failures", type=int, default=0,
                         help="link failures to inject")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the sim-time event trace as JSONL")
+    parser.add_argument("--trace-chrome", default=None, metavar="PATH",
+                        help="write a Chrome trace_event file "
+                             "(chrome://tracing / ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the Prometheus text exposition")
+    parser.add_argument("--obs-snapshot-interval", type=float,
+                        default=None, metavar="SECONDS",
+                        help="sim seconds between metric snapshots "
+                             "(default: duration/10 when observing)")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="dump the full FleetMetrics as JSON")
     args = parser.parse_args(argv)
 
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -360,6 +458,10 @@ def main(argv: list[str] | None = None) -> int:
         strategy=args.strategy,
         algorithm=args.algorithm,
         probe_policy=args.probe_policy,
+        trace_out=args.trace_out,
+        trace_chrome=args.trace_chrome,
+        metrics_out=args.metrics_out,
+        obs_snapshot_interval=args.obs_snapshot_interval,
     )
     workloads: list[Workload] = []
     if args.churn > 0:
@@ -388,6 +490,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     print()
     print(result.report())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                result.metrics.to_json(), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        result.exported.append(f"{args.json_out} (fleet metrics JSON)")
+    for line in result.exported:
+        print(f"wrote {line}")
     if not result.metrics.all_detected or result.metrics.false_alarms:
         return 1
     return 0

@@ -1,0 +1,219 @@
+"""Trace reconstruction: probe spans and detection latencies.
+
+The trace schema is flat (one event per line); this module rebuilds the
+structures the events encode:
+
+* :func:`probe_spans` — one :class:`ProbeSpan` per span id, stitching
+  ``probe.generated`` -> ``probe.sent`` -> ``probe.confirmed`` /
+  ``probe.timeout`` -> ``alarm.raised`` into a lifecycle with the
+  solve / scheduler-wait / wire latency breakdown.
+* :func:`detection_latencies` — replays the metrics layer's alarm
+  attribution purely from the trace: each ``failure.injected`` event is
+  matched with the first ``alarm.raised`` whose node and rule cookie
+  the injection covers; the resulting latencies must equal
+  :class:`~repro.fleet.metrics.DetectionRecord` latencies exactly
+  (pinned by ``tests/test_obs_fleet.py``).
+
+All helpers accept live :class:`~repro.obs.trace.TraceEvent` objects
+and JSONL-loaded dicts interchangeably — analysis works the same on an
+in-memory run and on a ``--trace-out`` file read back later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.trace import TraceEvent, node_label
+
+
+def _normalize(event: "TraceEvent | dict[str, Any]") -> dict[str, Any]:
+    """One canonical event shape: the JSONL dict (node repr-encoded)."""
+    if isinstance(event, dict):
+        return event
+    return {
+        "ts": event.ts,
+        "type": event.etype,
+        "node": node_label(event.node),
+        "span": event.span,
+        "args": dict(event.args),
+    }
+
+
+@dataclass
+class ProbeSpan:
+    """One probe's reconstructed lifecycle."""
+
+    span: int
+    node: str | None = None
+    priority: int | None = None
+    match: str | None = None
+    cookie: int | None = None
+    #: How probe generation was served: "cache", "revalidate", "solve".
+    source: str | None = None
+    generated_at: float | None = None
+    solve_seconds: float | None = None
+    #: Scheduler wait: touch (churn/update/alarm signal) -> serve.
+    wait_seconds: float | None = None
+    first_sent_at: float | None = None
+    injections: int = 0
+    confirmed_at: float | None = None
+    timed_out_at: float | None = None
+    alarm_at: float | None = None
+    alarm_kind: str | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def wire_seconds(self) -> float | None:
+        """First injection -> confirmation (the on-the-wire latency)."""
+        if self.first_sent_at is None:
+            return None
+        end = self.confirmed_at
+        if end is None:
+            end = self.timed_out_at
+        if end is None:
+            return None
+        return end - self.first_sent_at
+
+    @property
+    def outcome(self) -> str:
+        if self.alarm_at is not None:
+            return f"alarm:{self.alarm_kind}"
+        if self.confirmed_at is not None:
+            return "confirmed"
+        if self.timed_out_at is not None:
+            return "timeout"
+        return "in-flight"
+
+
+def probe_spans(
+    events: Iterable["TraceEvent | dict[str, Any]"],
+) -> dict[int, ProbeSpan]:
+    """Group span-carrying probe events into :class:`ProbeSpan` records."""
+    spans: dict[int, ProbeSpan] = {}
+    for raw in events:
+        event = _normalize(raw)
+        span_id = event.get("span")
+        etype = event["type"]
+        if span_id is None or not etype.startswith(
+            ("probe.", "alarm.", "update.")
+        ):
+            continue
+        span = spans.get(span_id)
+        if span is None:
+            span = spans[span_id] = ProbeSpan(span=span_id)
+        span.events.append(event)
+        if span.node is None:
+            span.node = event.get("node")
+        args = event.get("args", {})
+        ts = event["ts"]
+        if etype == "probe.generated":
+            span.generated_at = ts
+            span.priority = args.get("priority")
+            span.match = args.get("match")
+            span.cookie = args.get("cookie")
+            span.source = args.get("source")
+            span.solve_seconds = args.get("solve_seconds")
+            span.wait_seconds = args.get("wait_seconds")
+        elif etype == "probe.sent":
+            span.injections += 1
+            if span.first_sent_at is None:
+                span.first_sent_at = ts
+        elif etype == "probe.confirmed":
+            span.confirmed_at = ts
+        elif etype == "probe.timeout":
+            span.timed_out_at = ts
+        elif etype == "alarm.raised":
+            span.alarm_at = ts
+            span.alarm_kind = args.get("kind")
+            if span.cookie is None:
+                span.cookie = args.get("cookie")
+    return spans
+
+
+@dataclass
+class TraceDetection:
+    """One injection's detection, reconstructed purely from the trace."""
+
+    kind: str
+    injected_at: float
+    nodes: tuple[str, ...]
+    cookies: tuple[int, ...]
+    detected_at: float | None = None
+    detected_on: str | None = None
+    alarm_kind: str | None = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.injected_at
+
+
+def detection_latencies(
+    events: Iterable["TraceEvent | dict[str, Any]"],
+) -> list[TraceDetection]:
+    """Replay alarm attribution from the trace alone.
+
+    Mirrors :meth:`repro.fleet.failures.Injection.is_detection`: an
+    ``alarm.raised`` detects a ``failure.injected`` when it is not
+    earlier, lands on one of the injection's nodes, and carries one of
+    its victim cookies.  Each injection takes its *earliest* such
+    alarm, exactly as :func:`~repro.fleet.metrics.collect_fleet_metrics`
+    does.
+    """
+    normalized = [_normalize(e) for e in events]
+    detections = [
+        TraceDetection(
+            kind=event["args"].get("kind", "failure"),
+            injected_at=event["ts"],
+            nodes=tuple(event["args"].get("nodes", ())),
+            cookies=tuple(event["args"].get("cookies", ())),
+        )
+        for event in normalized
+        if event["type"] == "failure.injected"
+    ]
+    for event in normalized:
+        if event["type"] != "alarm.raised":
+            continue
+        node = event.get("node")
+        cookie = event.get("args", {}).get("cookie")
+        ts = event["ts"]
+        for record in detections:
+            if (
+                ts >= record.injected_at
+                and node in record.nodes
+                and cookie in record.cookies
+                and (record.detected_at is None or ts < record.detected_at)
+            ):
+                record.detected_at = ts
+                record.detected_on = node
+                record.alarm_kind = event["args"].get("kind")
+    return detections
+
+
+def format_span_table(
+    spans: Iterable[ProbeSpan], limit: int | None = None
+) -> str:
+    """A plain-text per-probe latency breakdown (the examples' output)."""
+    header = (
+        f"{'span':>6}  {'node':<10} {'source':<10} {'solve ms':>9} "
+        f"{'wait ms':>9} {'wire ms':>9}  outcome"
+    )
+    lines = [header, "-" * len(header)]
+    shown = 0
+    for span in sorted(spans, key=lambda s: s.span):
+        if limit is not None and shown >= limit:
+            break
+        shown += 1
+
+        def ms(value: float | None) -> str:
+            return "-" if value is None else f"{value * 1000:.3f}"
+
+        lines.append(
+            f"{span.span:>6}  {span.node or '-':<10} "
+            f"{span.source or '-':<10} {ms(span.solve_seconds):>9} "
+            f"{ms(span.wait_seconds):>9} {ms(span.wire_seconds):>9}  "
+            f"{span.outcome}"
+        )
+    return "\n".join(lines)

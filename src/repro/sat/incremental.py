@@ -331,6 +331,20 @@ class IncrementalSolver:
         """
         return len(self._solver.learned_clauses()) + len(self._kept_lemmas)
 
+    def health(self) -> dict[str, int]:
+        """Point-in-time solver health for observability gauges.
+
+        JSON-ready snapshot of the quantities that drive compaction
+        and re-merge decisions; cheap enough to sample per metrics
+        snapshot.
+        """
+        return {
+            "num_vars": self._num_vars,
+            "num_clauses": self.num_clauses,
+            "dead_clauses": self._dead_clauses,
+            "lemma_count": self.lemma_count(),
+        }
+
     def clone(self) -> "IncrementalSolver":
         """An independent copy: same formula, groups, lemmas, heuristics.
 

@@ -31,6 +31,23 @@ class Simulator:
         self._queue = EventQueue()
         self._dispatched = 0
         self._running = False
+        #: Called with the event time after every dispatched event.
+        #: Observability (periodic metric snapshots) rides this hook
+        #: instead of self-rescheduling timer events, so an otherwise
+        #: idle deployment's queue can still drain.
+        self._dispatch_hook: Callable[[float], None] | None = None
+
+    def set_dispatch_hook(
+        self, hook: Callable[[float], None] | None
+    ) -> None:
+        """Install (or clear) the post-dispatch hook.
+
+        The hook must be passive: it runs outside the event queue and
+        must not schedule, cancel, or otherwise perturb simulation
+        state — it exists so observers can pace themselves off the
+        advancing clock without keeping the queue alive.
+        """
+        self._dispatch_hook = hook
 
     @property
     def now(self) -> float:
@@ -94,6 +111,8 @@ class Simulator:
                 event.action()
                 self._dispatched += 1
                 dispatched_this_run += 1
+                if self._dispatch_hook is not None:
+                    self._dispatch_hook(event.time)
             if until is not None and until > self.now:
                 self.clock.advance(until)
         finally:

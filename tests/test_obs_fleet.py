@@ -1,0 +1,234 @@
+"""End-to-end observability on a live fleet.
+
+The load-bearing property: the trace is *complete* — detection
+latencies reconstructed purely from trace events (``failure.injected``
+-> first attributable ``alarm.raised``) must equal the metrics layer's
+:class:`~repro.fleet.metrics.DetectionRecord` latencies exactly, on a
+fig4-style blackhole scenario with churn.  Plus: observability must
+not perturb the simulation, the NullObserver default must stay inert,
+and ``repro-fleet --json-out`` must round-trip the report's numbers.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.fleet import (
+    FlowModBlackhole,
+    RuleChurn,
+    RuleDrop,
+    ScenarioSpec,
+    run_scenario,
+)
+from repro.fleet.metrics import _crosscheck_registry
+from repro.fleet.runner import main
+from repro.obs import (
+    NULL_OBSERVER,
+    detection_latencies,
+    probe_spans,
+    read_jsonl,
+)
+
+
+def _fig4_spec(**overrides):
+    """Fig4-style: blackholed FlowMod amid healthy churn, dynamic mode."""
+    base = dict(
+        topology="ring",
+        size=5,
+        duration=2.0,
+        seed=2015,
+        rules_per_switch=10,
+        probe_rate=200.0,
+        dynamic=True,
+        workloads=(RuleChurn(rate=15.0),),
+        failures=(
+            RuleDrop(at=0.5, node="sw0", rule_index=1),
+            FlowModBlackhole(at=0.8, node="sw2"),
+        ),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def observed_run(tmp_path_factory):
+    """One observed fig4-style run, trace exported to disk."""
+    out = tmp_path_factory.mktemp("obs")
+    spec = _fig4_spec(
+        trace_out=str(out / "trace.jsonl"),
+        trace_chrome=str(out / "trace.json"),
+        metrics_out=str(out / "metrics.prom"),
+        obs_snapshot_interval=0.25,
+    )
+    return run_scenario(spec)
+
+
+class TestTraceMetricsConsistency:
+    def test_scenario_detects_everything(self, observed_run):
+        assert observed_run.metrics.all_detected
+        assert not observed_run.metrics.false_alarms
+
+    def test_trace_detections_equal_metrics_exactly(self, observed_run):
+        """Trace-only replay == metrics path, byte for byte."""
+        traced = detection_latencies(observed_run.observer.trace)
+        records = observed_run.metrics.detections
+        assert len(traced) == len(records) == 2
+        for trace_det, record in zip(traced, records):
+            assert trace_det.kind == record.injection.kind
+            assert trace_det.injected_at == record.injection.time
+            assert trace_det.detected_at == record.detected_at
+            assert trace_det.latency == record.latency
+            assert trace_det.detected_on == repr(record.detected_on)
+            assert trace_det.alarm_kind == record.alarm_kind
+
+    def test_jsonl_trace_replays_identically(self, observed_run):
+        """The exported file carries the same completeness guarantee."""
+        events = read_jsonl(observed_run.spec.trace_out)
+        from_file = detection_latencies(events)
+        in_memory = detection_latencies(observed_run.observer.trace)
+        assert [d.latency for d in from_file] == [
+            d.latency for d in in_memory
+        ]
+        assert probe_spans(events).keys() == probe_spans(
+            observed_run.observer.trace
+        ).keys()
+
+    def test_trace_covers_every_probe(self, observed_run):
+        """Span/event counts reconcile with the monitors' own counters."""
+        trace = observed_run.observer.trace
+        assert trace.dropped == 0, "ring bound must not truncate this run"
+        metrics = observed_run.metrics
+        sent = trace.events("probe.sent")
+        assert len(sent) == metrics.probes_sent
+        spans = probe_spans(trace)
+        confirmed = sum(
+            1 for s in spans.values() if s.confirmed_at is not None
+        )
+        assert confirmed == metrics.probes_confirmed
+        timed_out = sum(
+            1 for s in spans.values() if s.timed_out_at is not None
+        )
+        assert timed_out == sum(
+            m.probes_timed_out for m in metrics.per_switch
+        )
+        # Alarms on probe spans reconcile with the alarm timeline.
+        alarmed = sum(1 for s in spans.values() if s.alarm_at is not None)
+        assert alarmed == len(metrics.alarm_timeline)
+
+    def test_snapshots_feed_report_timeline(self, observed_run):
+        assert len(observed_run.metrics.obs_snapshots) >= 3
+        assert "timeline (sim-time windowed rates" in observed_run.report()
+
+    def test_exports_written(self, observed_run):
+        spec = observed_run.spec
+        assert read_jsonl(spec.trace_out)
+        with open(spec.trace_chrome, encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"]
+        with open(spec.metrics_out, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "# TYPE monocle_probes_sent_total counter" in text
+        assert len(observed_run.exported) == 3
+
+    def test_crosscheck_catches_divergence(self, observed_run):
+        """The registry/metrics cross-check is a live tripwire."""
+        deployment = observed_run.deployment
+        registry = deployment.obs.metrics
+        counter = registry.counter(
+            "monocle_probes_sent_total",
+            node=repr(deployment.nodes[0]),
+        )
+        counter.inc()  # simulate a double-counted publication site
+        with pytest.raises(AssertionError, match="diverged"):
+            _crosscheck_registry(
+                deployment, observed_run.metrics.per_switch
+            )
+        counter.value -= 1  # restore for other tests on the fixture
+
+
+class TestObservabilityIsNonIntrusive:
+    def test_traced_run_matches_untraced_run(self):
+        """Observability must never perturb the simulation itself."""
+        untraced = run_scenario(_fig4_spec())
+        traced = run_scenario(_fig4_spec(observe=True))
+        assert (
+            traced.metrics.alarm_timeline
+            == untraced.metrics.alarm_timeline
+        )
+        assert [m.probes_sent for m in traced.metrics.per_switch] == [
+            m.probes_sent for m in untraced.metrics.per_switch
+        ]
+        assert (
+            traced.metrics.detection_latencies
+            == untraced.metrics.detection_latencies
+        )
+
+    def test_null_observer_default_is_inert(self):
+        result = run_scenario(_fig4_spec())
+        assert result.observer is NULL_OBSERVER
+        assert result.deployment.obs is NULL_OBSERVER
+        assert result.metrics.obs_snapshots == []
+        assert "timeline" not in result.report()
+        assert result.exported == []
+
+
+class TestJsonOut:
+    def test_json_out_round_trips_report_numbers(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        rv = main(
+            [
+                "--topology", "ring", "--size", "4",
+                "--duration", "1.5", "--seed", "2015",
+                "--rules", "8", "--probe-rate", "150",
+                "--churn", "10", "--drops", "1",
+                "--json-out", str(path),
+            ]
+        )
+        assert rv == 0
+        report = capsys.readouterr().out
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        aggregates = payload["aggregates"]
+
+        match = re.search(r"aggregate: (\d+) probes .* (\d+) confirmed",
+                          report)
+        assert match is not None
+        assert aggregates["probes_sent"] == int(match.group(1))
+        assert aggregates["probes_confirmed"] == int(match.group(2))
+
+        match = re.search(r"detection: (\d+)/(\d+) injected", report)
+        assert match is not None
+        detected = sum(1 for d in payload["detections"] if d["detected"])
+        assert detected == int(match.group(1))
+        assert len(payload["detections"]) == int(match.group(2))
+        assert aggregates["all_detected"] is True
+
+        match = re.search(
+            r"probe generation: (\d+) incremental SAT solves, "
+            r"(\d+) cache hits",
+            report,
+        )
+        assert match is not None
+        assert aggregates["probes_generated"] == int(match.group(1))
+        assert aggregates["probe_cache_hits"] == int(match.group(2))
+
+        # Per-switch rows carry the same counters the table printed.
+        for row in payload["per_switch"]:
+            assert re.search(
+                rf"{re.escape(row['node'])}\s+{row['rules_installed']}"
+                rf"\s+{row['probes_sent']}\s+",
+                report,
+            ), f"per-switch row for {row['node']} diverges from report"
+
+    def test_json_out_matches_metrics_object(self, tmp_path):
+        result = run_scenario(_fig4_spec())
+        payload = result.metrics.to_json()
+        # to_json is JSON-clean as written (no repr fallbacks needed).
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+        assert payload["aggregates"]["probes_sent"] == (
+            result.metrics.probes_sent
+        )
+        assert [d["latency"] for d in payload["detections"]] == [
+            d.latency for d in result.metrics.detections
+        ]
