@@ -21,7 +21,7 @@ DynamicMonitor) per switch and interposes all control channels.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Mapping
+from typing import Callable, Hashable, Iterable, Mapping
 
 from repro.core.catching import (
     CatchingPlan,
@@ -132,6 +132,13 @@ class MonocleSystem:
             :data:`~repro.core.schedule.POLICIES` name for the whole
             fleet, a node -> name mapping, or a callable
             ``node -> name``.
+        monitored_nodes: when given, build Monitors only for these
+            switches (a sharded fleet worker owning one shard of a
+            full-topology mirror).  Every switch still gets its catch
+            rules and an up-handler — an owned switch's probes are
+            caught at the local mirrors of unowned neighbors — but
+            unowned switches get no Monitor, no production rules, and
+            no probing.
     """
 
     def __init__(
@@ -145,6 +152,7 @@ class MonocleSystem:
         shared_contexts: "SharedContextRegistry | None" = None,
         probe_policy: "str | Mapping | Callable" = "round_robin",
         obs: "Observer | NullObserver | None" = None,
+        monitored_nodes: "Iterable[Hashable] | None" = None,
     ) -> None:
         self.network = network
         self.sim = network.sim
@@ -161,6 +169,11 @@ class MonocleSystem:
         self.multiplexer = Multiplexer(network)
         self.monitors: dict[Hashable, Monitor] = {}
         self.dynamics: dict[Hashable, DynamicMonitor] = {}
+        self.monitored_nodes = (
+            frozenset(network.topology.nodes)
+            if monitored_nodes is None
+            else frozenset(monitored_nodes)
+        )
 
         for node in sorted(network.topology.nodes, key=repr):
             self._deploy(node, dynamic, use_drop_postponing)
@@ -184,9 +197,15 @@ class MonocleSystem:
 
         # Pre-install the catching rules on the switch and record them
         # in the expected table (they are part of the Hit constraint).
+        # This happens on every switch — monitored or not — because a
+        # monitored switch's probes are caught at its (possibly
+        # unmonitored) neighbors' tables.
         catch_rules = self.plan.catching_rules(node)
         for rule in catch_rules:
             switch.install_directly(rule)
+        channel.up_handler = lambda msg, n=node: self._from_switch(n, msg)
+        if node not in self.monitored_nodes:
+            return
 
         downstream = next(iter(network.topology.neighbors(node)), None)
         generator = ProbeGenerator(
@@ -225,7 +244,6 @@ class MonocleSystem:
         if probe_context is None:
             for rule in catch_rules:
                 monitor.preinstall(rule)
-        channel.up_handler = lambda msg, n=node: self._from_switch(n, msg)
         self.monitors[node] = monitor
         self.multiplexer.register(node, monitor)
         if dynamic:
@@ -273,7 +291,9 @@ class MonocleSystem:
             if metadata is not None:
                 self.multiplexer.route_packet_in(node, msg, metadata)
                 return
-        self.monitors[node].from_switch(msg)
+        monitor = self.monitors.get(node)
+        if monitor is not None:
+            monitor.from_switch(msg)
 
     @staticmethod
     def _probe_metadata(msg: PacketIn) -> ProbeMetadata | None:

@@ -462,6 +462,16 @@ class SharedProbeGenContext:
         assert self._entry is not None
         return self._entry.context
 
+    def base_context(self) -> ProbeGenContext:
+        """The backing :class:`ProbeGenContext` currently serving us.
+
+        For cross-process gossip: the shard layer fingerprints and
+        exports/imports probe caches against the *underlying* context
+        (the one whose table the cache entries actually describe),
+        which for a behind handle differs from :attr:`table`.
+        """
+        return self._context()
+
     def attach_obs(self, obs: object, node: object) -> None:
         """Publish this handle's lifecycle + solve timings.
 
@@ -476,17 +486,21 @@ class SharedProbeGenContext:
 
     # ----- delta API -------------------------------------------------------
 
+    # The per-switch mirror is mutated AFTER ``_apply``: a divergent op
+    # may fork the handle off the shared entry, and the undo-based fork
+    # verifies its reconstruction against ``_my_table``, which must
+    # still reflect the handle's log position (not the in-flight op).
+
     def add_rule(self, rule: Rule) -> None:
-        self._my_table.install(rule)
         self.stats.rules_added += 1
         self._apply(
             ("add", _rule_sig(rule)),
             ("add", rule),
             lambda ctx: ctx.add_rule(rule),
         )
+        self._my_table.install(rule)
 
     def remove_rule(self, rule: Rule) -> None:
-        self._my_table.remove(rule)
         self._validated.pop(rule.key(), None)
         self.stats.rules_removed += 1
         self._apply(
@@ -494,10 +508,10 @@ class SharedProbeGenContext:
             ("remove", rule),
             lambda ctx: ctx.remove_rule(rule),
         )
+        self._my_table.remove(rule)
 
     def apply_flowmod(self, mod: FlowMod) -> list[Rule]:
         """Apply FlowMod semantics; returns this switch's affected rules."""
-        affected = self._track_flowmod(mod)
         self._apply(
             (
                 "flowmod",
@@ -509,7 +523,7 @@ class SharedProbeGenContext:
             ("flowmod", mod),
             lambda ctx: ctx.apply_flowmod(mod),
         )
-        return affected
+        return self._track_flowmod(mod)
 
     def _track_flowmod(self, mod: FlowMod) -> list[Rule]:
         """Apply the FlowMod to this switch's own table.
@@ -632,11 +646,34 @@ class SharedProbeGenContext:
             self._fork_warm(entry)
             return
         # Behind the log: the shared table contains operations this
-        # switch never applied.  Start cold from the handle's own table
-        # — correct content, correct cookies, no shared-solver warmth.
-        self._own = self._registry._factory(
-            self.generator, table=self._my_table.copy()
-        )
+        # switch never applied.  Clone the shared state anyway and
+        # undo the foreign operations on the *private* copy — the same
+        # per-op undo records `rewind_to` replays on the shared table,
+        # applied to the clone instead — so solver warmth survives
+        # even the staggered multi-switch divergences a shared rewind
+        # cannot untangle.  The clone's delta API stale-marks affected
+        # cached probes as each undo lands, exactly as live churn
+        # would.
+        own = entry.context.fork()
+        for _sig, undo in reversed(entry.log[self._log_pos - entry.base :]):
+            for key, previous in reversed(undo):
+                if previous is None:
+                    current = own.table.get(*key)
+                    if current is not None:
+                        own.remove_rule(current)
+                else:
+                    own.add_rule(previous)
+        if _tables_identical(own.table, self._my_table):
+            self._own = own
+            self._registry.stats.warm_forks += 1
+        else:
+            # Undo reconstruction disagreed with the handle's own view
+            # (it never should — the safety net exists so a bug here
+            # degrades to the old cold fork instead of corrupting
+            # probes).  Start cold from the handle's own table.
+            self._own = self._registry._factory(
+                self.generator, table=self._my_table.copy()
+            )
         self._finish_fork(entry)
 
     def _finish_fork(self, entry: _SharedEntry) -> None:

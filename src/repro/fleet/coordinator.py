@@ -1,0 +1,342 @@
+"""Conservative-time coordinator for sharded fleet scenarios.
+
+:func:`run_sharded_scenario` is the ``workers > 1`` twin of
+:func:`~repro.fleet.runner.run_scenario`: it plans the shard cut,
+spawns one worker process per shard (each with its own sim kernel —
+see :mod:`repro.fleet.shardworker`), drives the barrier protocol over
+``multiprocessing`` pipes, and merges the per-shard results into one
+fleet-wide :class:`~repro.fleet.metrics.FleetMetrics` plus a single
+sim-time-ordered trace.
+
+The barrier rule: windows exist only because of *cross-shard*
+interaction.  A pure partition (no topology link crosses the cut) runs
+each shard start-to-finish in one window with zero barriers — that is
+the configuration whose alarm timeline is byte-identical to a
+single-process run.  With cut links, the coordinator steps all shards
+through quantum-sized windows; anything announced inside window k
+(failure envelopes, gossip payloads) is delivered at the start of
+window k+1, so cross-shard effects land at most one quantum late.
+Windows no shard has events in are fast-forwarded using each kernel's
+:meth:`~repro.sim.kernel.Simulator.next_event_time` peek.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as _time
+from typing import TYPE_CHECKING, Any
+
+from repro.fleet.failures import Injection
+from repro.fleet.metrics import DetectionRecord, merge_fleet_metrics
+from repro.fleet.sharding import (
+    GossipDirectory,
+    ShardPlan,
+    plan_shards,
+    spec_nodes,
+)
+from repro.fleet.shardworker import ShardResult, _announcer, worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from multiprocessing.connection import Connection
+
+    from repro.fleet.runner import ScenarioResult, ScenarioSpec
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform offers it (workers inherit the built spec
+    cheaply); whatever the platform default is otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def default_barrier_quantum(spec: "ScenarioSpec") -> float:
+    """One probe timeout, capped at a quarter of the scenario.
+
+    The probe timeout is the natural cross-shard reaction scale: a
+    failure's first observable consequence is a probe timing out, so
+    delivering envelopes a timeout late keeps detection latencies
+    within one quantum of the in-process run.
+    """
+    return min(spec.probe_timeout, spec.duration / 4.0)
+
+
+class _WorkerHandle:
+    """One worker process plus its coordinator-side pipe end."""
+
+    def __init__(
+        self,
+        ctx: multiprocessing.context.BaseContext,
+        spec: "ScenarioSpec",
+        plan: ShardPlan,
+        shard: int,
+    ) -> None:
+        self.shard = shard
+        self.conn: "Connection"
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child, spec, plan, shard),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        self.process.start()
+        child.close()
+        self.next_event: float | None = None
+
+    def recv(self, expect: str) -> Any:
+        message = self.conn.recv()
+        if message[0] == "error":
+            raise ShardRunError(
+                f"shard {self.shard} worker failed:\n{message[1]}"
+            )
+        if message[0] != expect:
+            raise ShardRunError(
+                f"shard {self.shard} protocol error: got {message[0]!r}, "
+                f"expected {expect!r}"
+            )
+        return message[1] if len(message) > 1 else None
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        finally:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5.0)
+
+
+class ShardRunError(RuntimeError):
+    """A worker process died or broke protocol."""
+
+
+def run_sharded_scenario(spec: "ScenarioSpec") -> "ScenarioResult":
+    """Run one scenario across ``spec.workers`` shard processes."""
+    from repro.fleet.runner import ScenarioResult, run_scenario
+    from dataclasses import replace
+
+    plan = plan_shards(
+        spec.build_topology(), spec.workers, spec.shard_policy
+    )
+    if plan.workers <= 1:
+        # Fewer switches than workers: nothing to shard.
+        return run_scenario(replace(spec, workers=1))
+
+    ctx = _mp_context()
+    workers = [
+        _WorkerHandle(ctx, spec, plan, shard)
+        for shard in range(plan.workers)
+    ]
+    try:
+        for worker in workers:
+            worker.recv("ready")
+        build_done = _time.perf_counter()
+        directory = GossipDirectory()
+        barriers = _drive_windows(spec, plan, workers, directory)
+        results: list[ShardResult] = []
+        for worker in workers:
+            worker.conn.send(("finish",))
+        for worker in workers:
+            results.append(worker.recv("result"))
+        run_seconds = _time.perf_counter() - build_done
+    finally:
+        for worker in workers:
+            worker.close()
+
+    return _merge_results(
+        spec, plan, results, directory, barriers, run_seconds
+    )
+
+
+def _route_envelopes(
+    spec: "ScenarioSpec",
+    plan: ShardPlan,
+    emitted: list[tuple[float, int]],
+) -> dict[int, list[tuple[float, int]]]:
+    """Address announced envelopes to every owning shard but the
+    announcer (who already applied its half at fire time)."""
+    routed: dict[int, list[tuple[float, int]]] = {}
+    for fire_time, index in emitted:
+        nodes = spec_nodes(spec.failures[index])
+        owners = {plan.owner(node) for node in nodes}
+        owners.discard(_announcer(plan, nodes))
+        for shard in owners:
+            routed.setdefault(shard, []).append((fire_time, index))
+    return routed
+
+
+def _drive_windows(
+    spec: "ScenarioSpec",
+    plan: ShardPlan,
+    workers: list[_WorkerHandle],
+    directory: GossipDirectory,
+) -> int:
+    """Step every shard to ``spec.duration``; returns the barrier count.
+
+    Pure partitions take the single-window fast path: no cross-shard
+    links means no envelopes and no gossip peers worth the pipe
+    traffic, so each worker runs its whole scenario uninterrupted.
+    """
+    duration = spec.duration
+    if plan.is_pure:
+        for worker in workers:
+            worker.conn.send(("run", duration, {}))
+        for worker in workers:
+            worker.recv("window")
+        return 0
+
+    quantum = spec.barrier_quantum or default_barrier_quantum(spec)
+    pending: dict[int, list[tuple[float, int]]] = {}
+    barriers = 0
+    now = 0.0
+    while now < duration:
+        target = min(duration, now + quantum)
+        next_times = [
+            w.next_event for w in workers if w.next_event is not None
+        ]
+        if barriers and not next_times and not pending:
+            # Every kernel is idle and nothing is in flight: only the
+            # final clock advance remains.
+            target = duration
+        elif barriers and next_times and min(next_times) >= target:
+            # No shard has an event inside this window; fast-forward
+            # one quantum past the earliest pending event instead of
+            # lock-stepping through empty quanta.
+            target = min(duration, min(next_times) + quantum)
+        requests = directory.export_requests()
+        for worker in workers:
+            deliveries: dict[str, Any] = {}
+            if worker.shard in pending:
+                deliveries["envelopes"] = pending[worker.shard]
+            exports_wanted = requests.get(worker.shard)
+            if exports_wanted:
+                deliveries["export_requests"] = exports_wanted
+            imports = directory.imports_for(worker.shard)
+            if imports:
+                deliveries["imports"] = imports
+            worker.conn.send(("run", target, deliveries))
+        pending = {}
+        emitted: list[tuple[float, int]] = []
+        for worker in workers:
+            payload = worker.recv("window")
+            emitted.extend(payload["emitted"])
+            directory.publish(worker.shard, payload["digests"])
+            directory.receive_exports(worker.shard, payload["exports"])
+            worker.next_event = payload["next_event"]
+        for shard, envelopes in _route_envelopes(
+            spec, plan, emitted
+        ).items():
+            pending.setdefault(shard, []).extend(envelopes)
+        barriers += 1
+        now = target
+    if pending:
+        # Envelopes announced in the final window: deliver them in one
+        # zero-length window so the peer's injection record is filled
+        # (no sim time remains for alarms, but the merged report must
+        # still describe the injection).
+        for worker in workers:
+            worker.conn.send(
+                ("run", duration, {"envelopes": pending.get(worker.shard, [])})
+            )
+        for worker in workers:
+            worker.recv("window")
+        barriers += 1
+    return barriers
+
+
+def _merge_results(
+    spec: "ScenarioSpec",
+    plan: ShardPlan,
+    results: list[ShardResult],
+    directory: GossipDirectory,
+    barriers: int,
+    run_seconds: float,
+) -> "ScenarioResult":
+    from repro.fleet.runner import ScenarioResult
+
+    results.sort(key=lambda res: res.shard)
+    detections, injections = _merge_detections(results)
+    latencies: list[float] = []
+    for res in results:
+        latencies.extend(res.confirmation_latencies)
+    metrics = merge_fleet_metrics(
+        [res.metrics for res in results],
+        detections=detections,
+        confirmation_latencies=latencies,
+        duration=spec.duration,
+    )
+    metrics.workers = plan.workers
+    metrics.shard_policy = plan.policy
+    metrics.cut_links = len(plan.cut_edges)
+    metrics.barriers = barriers
+    metrics.gossip_digests_published = directory.digests_published
+    metrics.gossip_entries_shipped = directory.entries_shipped
+    metrics.gossip_entries_imported = sum(
+        res.gossip_entries_imported for res in results
+    )
+
+    observer = spec.build_observer()
+    if observer is not None:
+        rows = sorted(
+            (row for res in results for row in res.trace_rows),
+            # Sort on the timestamp alone: later tuple fields hold
+            # dicts, which do not compare.  The sort is stable, so
+            # same-timestamp rows keep shard order.
+            key=lambda row: row[0],
+        )
+        observer.trace.extend_raw(rows)
+        observer.trace.emitted = sum(res.trace_emitted for res in results)
+
+    result = ScenarioResult(
+        spec=spec,
+        deployment=None,
+        injections=injections,
+        metrics=metrics,
+        observer=observer,
+        timings={"run_seconds": run_seconds},
+    )
+    result.export()
+    return result
+
+
+def _merge_detections(
+    results: list[ShardResult],
+) -> tuple[list[DetectionRecord], list[Injection]]:
+    """Fuse per-shard detection records by global failure-spec index.
+
+    Single-owner specs appear in exactly one shard.  A cut-crossing
+    spec appears once per adjacent shard — same fire time (the
+    envelope carries the announcer's clock), each half knowing only
+    its own switches' cookies — so the merged record unions node and
+    cookie sets and keeps the earliest attributable alarm.
+    """
+    by_index: dict[int, list[DetectionRecord]] = {}
+    for res in results:
+        for index, record in zip(
+            res.injection_indices, res.metrics.detections
+        ):
+            by_index.setdefault(index, []).append(record)
+    detections: list[DetectionRecord] = []
+    injections: list[Injection] = []
+    for index in sorted(by_index):
+        parts = by_index[index]
+        merged = parts[0]
+        injection = merged.injection
+        for other in parts[1:]:
+            injection.nodes |= other.injection.nodes
+            injection.cookies |= other.injection.cookies
+            injection.broad = injection.broad or other.injection.broad
+            if injection.error and not other.injection.error:
+                injection.error = None
+                injection.description = other.injection.description
+            if other.detected_at is not None and (
+                merged.detected_at is None
+                or other.detected_at < merged.detected_at
+            ):
+                merged.detected_at = other.detected_at
+                merged.detected_on = other.detected_on
+                merged.alarm_kind = other.alarm_kind
+        detections.append(merged)
+        injections.append(injection)
+    return detections, injections

@@ -13,7 +13,7 @@ they never touch the wiring themselves.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Hashable, Mapping
+from typing import Callable, Hashable, Iterable, Mapping
 
 import networkx as nx
 
@@ -70,6 +70,11 @@ class FleetDeployment:
             layer (sim-time trace + live metrics); defaults to the
             disabled :data:`~repro.obs.NULL_OBSERVER`, whose hot path
             is a single attribute read.
+        monitored_nodes: when given, only these switches get Monitors,
+            production rules, and workload activity — a sharded fleet
+            worker builds the *full* topology (so port numbers, switch
+            numbers, and the catching plan match every other worker)
+            but owns just its shard.  ``None`` means own everything.
     """
 
     def __init__(
@@ -91,10 +96,16 @@ class FleetDeployment:
         | Mapping[Hashable, str]
         | Callable[[Hashable], str] = "round_robin",
         obs: Observer | NullObserver | None = None,
+        monitored_nodes: "Iterable[Hashable] | None" = None,
     ) -> None:
         if topology.number_of_nodes() == 0:
             raise ValueError("cannot deploy a fleet on an empty topology")
         self.topology = topology
+        self._monitored_set = (
+            frozenset(topology.nodes)
+            if monitored_nodes is None
+            else frozenset(monitored_nodes)
+        )
         self.sim = Simulator()
         self.obs = obs if obs is not None else NULL_OBSERVER
         self.obs.install(self.sim)
@@ -133,6 +144,7 @@ class FleetDeployment:
             shared_contexts=self.shared_contexts,
             probe_policy=probe_policy,
             obs=self.obs,
+            monitored_nodes=self._monitored_set,
         )
         if self.obs.enabled:
             self.obs.metrics.add_collect_hook(self._sync_obs_metrics)
@@ -199,7 +211,7 @@ class FleetDeployment:
             counter = registry.counter(name, **labels)
             counter.inc(value - counter.value)
 
-        for node in self.nodes:
+        for node in self.monitored_nodes:
             label = repr(node)
             monitor = self.monitor(node)
             sync("monocle_probes_sent_total", monitor.probes_sent,
@@ -256,6 +268,19 @@ class FleetDeployment:
         """Topology nodes in the deployment's canonical (sorted) order."""
         return sorted(self.topology.nodes, key=repr)
 
+    @property
+    def monitored_nodes(self) -> list[Hashable]:
+        """The nodes this deployment owns, in canonical order.
+
+        Equal to :attr:`nodes` except in a sharded fleet worker, where
+        it is the worker's shard of the full topology.
+        """
+        return sorted(self._monitored_set, key=repr)
+
+    def owns(self, node: Hashable) -> bool:
+        """Whether this deployment monitors (and drives) ``node``."""
+        return node in self._monitored_set
+
     def monitor(self, node: Hashable) -> Monitor:
         """The Monitor watching ``node``."""
         return self.system.monitor(node)
@@ -305,7 +330,7 @@ class FleetDeployment:
         API saved over from-scratch generation.
         """
         total = ProbeGenContextStats()
-        for node in self.nodes:
+        for node in self.monitored_nodes:
             stats = self.monitor(node).probe_context.stats
             # Field-driven so counters added to the dataclass can never
             # be silently dropped from the aggregate.
@@ -326,7 +351,7 @@ class FleetDeployment:
         cycle build, then O(delta) maintenance.
         """
         total = SchedulerStats()
-        for node in self.nodes:
+        for node in self.monitored_nodes:
             stats = self.monitor(node).scheduler.stats
             for stat_field in dataclasses.fields(SchedulerStats):
                 setattr(

@@ -292,6 +292,46 @@ class FlowModBlackhole(FailureSpec):
         )
 
 
+def inject_now(
+    deployment: FleetDeployment,
+    spec: FailureSpec,
+    record: Injection,
+    *,
+    time: float | None = None,
+) -> None:
+    """Apply ``spec`` to the deployment at the current sim time.
+
+    The fire-time body shared by :func:`schedule_failures` and the
+    sharded-fleet worker (which applies cut-crossing specs announced by
+    a peer shard on envelope delivery).  ``time`` overrides the
+    recorded injection time — an envelope receiver stamps the
+    *announcer's* fire time so detection latencies stay honest even
+    though delivery lands a barrier window later.  A
+    :class:`FailureSpecError` is recorded, never raised.
+    """
+    record.time = deployment.sim.now if time is None else time
+    try:
+        spec.inject(deployment, record)
+    except FailureSpecError as exc:
+        record.error = str(exc)
+        record.nodes = set()
+        record.cookies = set()
+        record.description = f"injection failed: {exc}"
+    if deployment.obs.enabled:
+        # One trace event per armed failure, stamped at the
+        # injection's exact sim time: trace-only detection
+        # replay (repro.obs.analyze) keys off this record.
+        deployment.obs.emit(
+            "failure.injected",
+            kind=record.kind,
+            nodes=sorted(repr(n) for n in record.nodes),
+            cookies=sorted(record.cookies),
+            broad=record.broad,
+            description=record.description,
+            error=record.error,
+        )
+
+
 def schedule_failures(
     deployment: FleetDeployment,
     specs: "tuple[FailureSpec, ...] | list[FailureSpec]",
@@ -309,29 +349,10 @@ def schedule_failures(
     for spec in specs:
         record = Injection(kind=spec.kind, time=spec.at)
         injections.append(record)
-
-        def fire(spec=spec, record=record) -> None:
-            record.time = deployment.sim.now
-            try:
-                spec.inject(deployment, record)
-            except FailureSpecError as exc:
-                record.error = str(exc)
-                record.nodes = set()
-                record.cookies = set()
-                record.description = f"injection failed: {exc}"
-            if deployment.obs.enabled:
-                # One trace event per armed failure, stamped at the
-                # injection's exact sim time: trace-only detection
-                # replay (repro.obs.analyze) keys off this record.
-                deployment.obs.emit(
-                    "failure.injected",
-                    kind=record.kind,
-                    nodes=sorted(repr(n) for n in record.nodes),
-                    cookies=sorted(record.cookies),
-                    broad=record.broad,
-                    description=record.description,
-                    error=record.error,
-                )
-
-        deployment.sim.at(spec.at, fire)
+        deployment.sim.at(
+            spec.at,
+            lambda spec=spec, record=record: inject_now(
+                deployment, spec, record
+            ),
+        )
     return injections

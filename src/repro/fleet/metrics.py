@@ -104,6 +104,18 @@ class FleetMetrics:
     contexts_deduped: int = 0
     contexts_forked: int = 0
     contexts_remerged: int = 0
+    #: Sharded-runtime shape: worker count, planner policy, links cut
+    #: by the shard boundary, and conservative-time barrier windows the
+    #: coordinator ran (0 for in-process runs and pure partitions).
+    workers: int = 1
+    shard_policy: str | None = None
+    cut_links: int = 0
+    barriers: int = 0
+    #: Cross-shard fingerprint gossip: digests advertised at barriers,
+    #: cache entries shipped by exporters, entries actually adopted.
+    gossip_digests_published: int = 0
+    gossip_entries_shipped: int = 0
+    gossip_entries_imported: int = 0
     #: Stable (time, node, kind, match) tuples for determinism checks.
     alarm_timeline: list[tuple[float, str, str, str]] = field(
         default_factory=list
@@ -252,6 +264,13 @@ class FleetMetrics:
                 "contexts_deduped": self.contexts_deduped,
                 "contexts_forked": self.contexts_forked,
                 "contexts_remerged": self.contexts_remerged,
+                "workers": self.workers,
+                "shard_policy": self.shard_policy,
+                "cut_links": self.cut_links,
+                "barriers": self.barriers,
+                "gossip_digests_published": self.gossip_digests_published,
+                "gossip_entries_shipped": self.gossip_entries_shipped,
+                "gossip_entries_imported": self.gossip_entries_imported,
                 "all_detected": self.all_detected,
                 "detection_latencies": self.detection_latencies,
             },
@@ -270,7 +289,7 @@ def collect_fleet_metrics(
         duration = deployment.sim.now
 
     per_switch: list[SwitchMetrics] = []
-    for node in deployment.nodes:
+    for node in deployment.monitored_nodes:
         monitor = deployment.monitor(node)
         stats = deployment.switch(node).stats
         context = monitor.probe_context
@@ -303,7 +322,7 @@ def collect_fleet_metrics(
     detections = [DetectionRecord(injection=inj) for inj in injections]
     false_alarms: list[tuple[Hashable, MonitorAlarm]] = []
     timeline: list[tuple[float, str, str, str]] = []
-    for node in deployment.nodes:
+    for node in deployment.monitored_nodes:
         for alarm in deployment.monitor(node).alarms:
             timeline.append(
                 (alarm.time, repr(node), alarm.kind, repr(alarm.rule.match))
@@ -373,6 +392,101 @@ def collect_fleet_metrics(
         alarm_timeline=timeline,
         obs_snapshots=obs_snapshots,
     )
+
+
+def merge_fleet_metrics(
+    parts: list[FleetMetrics],
+    *,
+    detections: list[DetectionRecord],
+    confirmation_latencies: list[float],
+    duration: float,
+) -> FleetMetrics:
+    """Fuse per-shard :class:`FleetMetrics` into one fleet-wide bundle.
+
+    Each worker collected over a disjoint shard, so per-switch rows,
+    false alarms, and counters combine by concatenation/summation;
+    the alarm timeline re-sorts into global sim-time order, matching a
+    single-process run byte for byte on partitionable scenarios.
+    ``detections`` arrive pre-merged (the coordinator matches shard
+    records by global failure-spec index — a cut-crossing link failure
+    yields one record per adjacent shard) and confirmation latencies
+    arrive raw because :class:`~repro.analysis.stats.Summary` objects
+    cannot be combined after the fact.
+    """
+    timeline = sorted(row for part in parts for row in part.alarm_timeline)
+    false_alarms = sorted(
+        ((node, alarm) for part in parts for node, alarm in part.false_alarms),
+        key=lambda pair: (pair[1].time, repr(pair[0])),
+    )
+    per_switch = sorted(
+        (row for part in parts for row in part.per_switch),
+        key=lambda row: repr(row.node),
+    )
+    confirmation = (
+        summarize(confirmation_latencies) if confirmation_latencies else None
+    )
+    return FleetMetrics(
+        duration=duration,
+        per_switch=per_switch,
+        detections=detections,
+        false_alarms=false_alarms,
+        confirmation_latency=confirmation,
+        updates_confirmed=sum(p.updates_confirmed for p in parts),
+        updates_given_up=sum(p.updates_given_up for p in parts),
+        probes_routed=sum(p.probes_routed for p in parts),
+        probes_unroutable=sum(p.probes_unroutable for p in parts),
+        tables_fingerprinted=sum(p.tables_fingerprinted for p in parts),
+        contexts_created=sum(p.contexts_created for p in parts),
+        contexts_deduped=sum(p.contexts_deduped for p in parts),
+        contexts_forked=sum(p.contexts_forked for p in parts),
+        contexts_remerged=sum(p.contexts_remerged for p in parts),
+        alarm_timeline=timeline,
+        obs_snapshots=merge_obs_snapshots([p.obs_snapshots for p in parts]),
+    )
+
+
+def merge_obs_snapshots(
+    parts: list[list[dict[str, Any]]],
+) -> list[dict[str, Any]]:
+    """Sum per-shard observer snapshots on their common time grid.
+
+    Snapshots ride each worker's dispatch hook, so shards may cross
+    different grid points (an idle shard snapshots less often); only
+    timestamps every shard captured are merged — on those, counters and
+    gauges sum across shards (label sets are disjoint per shard except
+    fleet-level series, which sum correctly too) and histograms sum
+    their ``count``/``sum`` fields.
+    """
+    populated = [p for p in parts if p]
+    if not populated:
+        return []
+    common = set(snap["ts"] for snap in populated[0])
+    for part in populated[1:]:
+        common &= {snap["ts"] for snap in part}
+    merged: list[dict[str, Any]] = []
+    for ts in sorted(common):
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        for part in populated:
+            snap = next(s for s in part if s["ts"] == ts)
+            for key, value in snap["counters"].items():
+                counters[key] = counters.get(key, 0.0) + value
+            for key, value in snap["gauges"].items():
+                gauges[key] = gauges.get(key, 0.0) + value
+            for key, hist in snap["histograms"].items():
+                into = histograms.setdefault(key, {"count": 0.0, "sum": 0.0})
+                into["count"] += hist["count"]
+                into["sum"] += hist["sum"]
+        merged.append(
+            {
+                "ts": ts,
+                "counters": counters,
+                "gauges": gauges,
+                "histograms": histograms,
+            }
+        )
+    return merged
 
 
 def _crosscheck_registry(

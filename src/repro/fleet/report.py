@@ -111,6 +111,15 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
             f"{metrics.contexts_remerged} re-merged, "
             f"{shared_now} switches still sharing)"
         )
+    if metrics.workers > 1:
+        lines.append(
+            f"sharding: {metrics.workers} workers "
+            f"({metrics.shard_policy} policy), "
+            f"{metrics.cut_links} cut links, {metrics.barriers} barriers, "
+            f"gossip {metrics.gossip_digests_published} digests / "
+            f"{metrics.gossip_entries_shipped} shipped / "
+            f"{metrics.gossip_entries_imported} imported"
+        )
     if metrics.updates_confirmed or metrics.updates_given_up:
         lines.append(
             f"updates: {metrics.updates_confirmed} confirmed, "

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import time as _time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -54,8 +55,16 @@ from repro.switches.profiles import (
     PICA8,
     SwitchProfile,
 )
+from repro.fleet.sharding import DEFAULT_SHARD_POLICY, SHARD_POLICIES
 from repro.topology.corpus import topology_zoo_like_corpus
-from repro.topology.generators import fat_tree, linear, ring, star, triangle
+from repro.topology.generators import (
+    fat_tree,
+    islands,
+    linear,
+    ring,
+    star,
+    triangle,
+)
 
 
 class ScenarioError(ValueError):
@@ -76,6 +85,7 @@ TOPOLOGIES: dict[str, Callable[[int], nx.Graph]] = {
     "star": star,
     "triangle": lambda size: triangle(),
     "fat_tree": fat_tree,
+    "islands": islands,
     "zoo": _zoo_topology,
 }
 
@@ -131,6 +141,18 @@ class ScenarioSpec:
     obs_snapshot_interval: float | None = None
     #: Trace ring-buffer bound (events retained).
     trace_capacity: int = 65536
+    #: Sharded runtime (:mod:`repro.fleet.coordinator`): split the
+    #: fleet across this many worker processes, each with its own sim
+    #: kernel.  ``1`` keeps the in-process path.
+    workers: int = 1
+    #: Shard planner policy (:data:`repro.fleet.sharding.
+    #: SHARD_POLICIES`): ``locality`` keeps neighborhoods together to
+    #: minimize cross-shard links; ``round_robin`` ignores links.
+    shard_policy: str = DEFAULT_SHARD_POLICY
+    #: Conservative-time barrier window (sim seconds) for scenarios
+    #: whose shard cut crosses topology links; ``None`` derives one
+    #: probe timeout.  Irrelevant for pure partitions (barrier-free).
+    barrier_quantum: float | None = None
 
     # ----- validation -----------------------------------------------------
 
@@ -186,6 +208,30 @@ class ScenarioSpec:
             )
         if self.size < 1:
             raise ScenarioError(f"size must be >= 1: {self.size}")
+        if self.workers < 1:
+            raise ScenarioError(f"workers must be >= 1: {self.workers}")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ScenarioError(
+                f"unknown shard policy {self.shard_policy!r}; "
+                f"choose from {sorted(SHARD_POLICIES)}"
+            )
+        if self.barrier_quantum is not None and self.barrier_quantum <= 0:
+            raise ScenarioError(
+                f"barrier_quantum must be positive: {self.barrier_quantum}"
+            )
+        if self.workers > 1 and self.metrics_out:
+            raise ScenarioError(
+                "metrics_out is incompatible with workers > 1: the "
+                "Prometheus registry lives per worker process and its "
+                "expositions cannot be merged (use --json-out, whose "
+                "snapshots the coordinator does merge)"
+            )
+        if self.workers > 1 and self.max_events is not None:
+            raise ScenarioError(
+                "max_events is incompatible with workers > 1: the "
+                "event budget is per shard kernel, so a fleet-wide cap "
+                "cannot be enforced"
+            )
         graph = self.build_topology()
         nodes = set(graph.nodes)
         for spec in self.failures:
@@ -255,7 +301,9 @@ class ScenarioResult:
     """Everything a scenario run produced."""
 
     spec: ScenarioSpec
-    deployment: FleetDeployment
+    #: The live deployment for in-process runs; ``None`` after a
+    #: sharded run (the deployments lived in the worker processes).
+    deployment: FleetDeployment | None
     injections: list[Injection]
     metrics: FleetMetrics
     #: The deployment's observer — an :class:`~repro.obs.Observer`
@@ -264,6 +312,11 @@ class ScenarioResult:
     #: Human-readable lines describing the artifacts :meth:`export`
     #: wrote (run_scenario exports once, right after collection).
     exported: list[str] = field(default_factory=list)
+    #: Wall-clock phase timings (``run_seconds``: the simulation run,
+    #: excluding deployment build).  Deliberately kept out of
+    #: :meth:`FleetMetrics.to_json` and the report — those stay pure
+    #: functions of the spec + seed; benchmarks read this field.
+    timings: dict[str, float] = field(default_factory=dict)
 
     def report(self) -> str:
         """The formatted fleet report."""
@@ -300,8 +353,19 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     instantiate a monitored switch per topology node, install the
     workload mix, arm the failure schedule, run the shared kernel for
     ``spec.duration`` simulated seconds, and aggregate fleet metrics.
+
+    ``spec.workers > 1`` hands the scenario to the sharded runtime
+    (:func:`~repro.fleet.coordinator.run_sharded_scenario`): same spec,
+    same metrics bundle, per-shard worker processes instead of one
+    kernel.
     """
     spec.validate()
+    if spec.workers > 1:
+        # Imported lazily: the coordinator imports this module for the
+        # spec/result types, so a top-level import would be circular.
+        from repro.fleet.coordinator import run_sharded_scenario
+
+        return run_sharded_scenario(spec)
     observer = spec.build_observer()
     try:
         deployment = FleetDeployment(
@@ -326,7 +390,9 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
 
     injections = schedule_failures(deployment, spec.failures)
     deployment.start_monitoring()
+    run_started = _time.perf_counter()
     deployment.run(spec.duration, max_events=spec.max_events)
+    run_seconds = _time.perf_counter() - run_started
 
     metrics = collect_fleet_metrics(
         deployment,
@@ -340,6 +406,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         injections=injections,
         metrics=metrics,
         observer=deployment.obs,
+        timings={"run_seconds": run_seconds},
     )
     result.export()
     return result
@@ -415,6 +482,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--probe-policy", default="round_robin",
                         choices=sorted(SCHEDULE_POLICIES),
                         help="probe-cycle scheduling policy")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the fleet across this many worker "
+                             "processes (1 = in-process)")
+    parser.add_argument("--shard-policy", default=DEFAULT_SHARD_POLICY,
+                        choices=sorted(SHARD_POLICIES),
+                        help="topology partitioning policy for --workers")
+    parser.add_argument("--barrier-quantum", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cross-shard barrier window (default: one "
+                             "probe timeout)")
     parser.add_argument("--churn", type=float, default=0.0,
                         help="rule-churn FlowMods/s across the fleet")
     parser.add_argument("--traffic", type=int, default=0,
@@ -458,6 +535,9 @@ def main(argv: list[str] | None = None) -> int:
         strategy=args.strategy,
         algorithm=args.algorithm,
         probe_policy=args.probe_policy,
+        workers=args.workers,
+        shard_policy=args.shard_policy,
+        barrier_quantum=args.barrier_quantum,
         trace_out=args.trace_out,
         trace_chrome=args.trace_chrome,
         metrics_out=args.metrics_out,
@@ -482,10 +562,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
         return 2  # pragma: no cover - parser.error raises SystemExit
 
+    reserved = (
+        f"{result.deployment.plan.num_reserved_values} reserved values"
+        if result.deployment is not None
+        else f"{spec.workers} shard workers"
+    )
     print(
         f"fleet scenario: {spec.topology}-{spec.size} x {spec.profile}, "
         f"{spec.rules_per_switch} rules/switch, strategy {spec.strategy} "
-        f"({result.deployment.plan.num_reserved_values} reserved values), "
+        f"({reserved}), "
         f"{spec.duration:.1f}s @ seed {spec.seed}"
     )
     print()

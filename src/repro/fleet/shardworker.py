@@ -1,0 +1,311 @@
+"""The per-shard worker process of the sharded fleet runtime.
+
+Each worker owns one shard of the topology and its own discrete-event
+kernel, switches, Monitors, and (shard-local)
+:class:`~repro.core.shared.SharedContextRegistry`.  The worker builds
+the **full** topology — identical port numbers, switch numbers,
+catching plan, and per-switch RNG streams on every worker, whatever the
+worker count — but only its owned switches get Monitors, production
+rules, and workload activity.  Unowned switches exist as passive
+mirrors holding just their catching rules, which is exactly what an
+owned switch's probes need from an unowned downstream neighbor: probe
+transit never crosses the process boundary.
+
+What *does* cross (via :mod:`repro.fleet.coordinator`'s pipes):
+
+* envelopes announcing cut-crossing failure injections, applied by the
+  peer shard at the next barrier with the announcer's fire time;
+* fingerprint-gossip advertisements, export payloads, and imports
+  (cross-shard probe-cache shipping between identical-table switches).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.core.probegen import ProbeGenContext
+from repro.core.shared import _rule_sig, generator_key
+from repro.fleet.deployment import FleetDeployment
+from repro.fleet.failures import FailureSpec, Injection, inject_now
+from repro.fleet.metrics import FleetMetrics, collect_fleet_metrics
+from repro.fleet.sharding import Digest, GossipPayload, ShardPlan, spec_nodes
+from repro.fleet.workloads import RuleChurn, SteadyRules, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from multiprocessing.connection import Connection
+
+    from repro.fleet.runner import ScenarioSpec
+
+
+@dataclass
+class ShardResult:
+    """Everything one worker ships home after its final window."""
+
+    shard: int
+    metrics: FleetMetrics
+    #: Global failure-spec index of each entry in ``metrics.detections``
+    #: (a cut-crossing spec yields one record per adjacent shard; the
+    #: coordinator merges them by this index).
+    injection_indices: list[int] = field(default_factory=list)
+    #: Raw churn confirmation latencies — the coordinator re-summarizes
+    #: the fleet-wide distribution (Summary objects cannot be merged).
+    confirmation_latencies: list[float] = field(default_factory=list)
+    #: Raw trace-ring rows (``TraceRecorder.raw_events`` format) and
+    #: the ring's lifetime emit count, for the merged recorder.
+    trace_rows: list[tuple] = field(default_factory=list)
+    trace_emitted: int = 0
+    gossip_entries_imported: int = 0
+
+
+def _announcer(plan: ShardPlan, nodes: list[Hashable]) -> int:
+    """The shard that fires a cut-crossing spec: owner of the
+    smallest-``repr`` referenced node (deterministic on every worker).
+    """
+    return plan.owner(min(nodes, key=repr))
+
+
+class ShardWorker:
+    """One shard's deployment plus its barrier-window state machine."""
+
+    def __init__(
+        self, spec: "ScenarioSpec", plan: ShardPlan, shard: int
+    ) -> None:
+        from repro.fleet.runner import ALGORITHMS, PROFILES
+
+        self.spec = spec
+        self.plan = plan
+        self.shard = shard
+        self.owned = set(plan.shards[shard])
+        self.deployment = FleetDeployment(
+            spec.build_topology(),
+            profiles=PROFILES[spec.profile],
+            config=spec.monitor_config(),
+            dynamic=spec.dynamic,
+            seed=spec.seed,
+            strategy=spec.strategy,
+            algorithm=ALGORITHMS[spec.algorithm],
+            share_contexts=spec.share_contexts,
+            probe_policy=spec.probe_policy,
+            obs=spec.build_observer(),
+            monitored_nodes=self.owned,
+        )
+        self.workloads: list[Workload] = [
+            SteadyRules(spec.rules_per_switch)
+        ]
+        self.workloads.extend(spec.workloads)
+        for workload in self.workloads:
+            workload.setup(self.deployment)
+        #: Global spec index -> live Injection record on this shard.
+        self.injections: dict[int, Injection] = {}
+        #: Cut-crossing specs announced elsewhere, applied on delivery.
+        self.pending_remote: dict[int, FailureSpec] = {}
+        #: Envelopes fired this window: ``(fire time, spec index)``.
+        self.outbox: list[tuple[float, int]] = []
+        self.gossip_imported = 0
+        self._arm_failures()
+        self.deployment.start_monitoring()
+
+    # ----- failure classification --------------------------------------
+
+    def _arm_failures(self) -> None:
+        for index, fspec in enumerate(self.spec.failures):
+            nodes = spec_nodes(fspec)
+            owners = {self.plan.owner(node) for node in nodes}
+            if self.shard not in owners:
+                continue
+            record = Injection(kind=fspec.kind, time=fspec.at)
+            self.injections[index] = record
+            if len(owners) == 1 or _announcer(self.plan, nodes) == self.shard:
+                announce = len(owners) > 1
+                self.deployment.sim.at(
+                    fspec.at,
+                    lambda fspec=fspec, record=record, index=index,
+                    announce=announce: self._fire(
+                        fspec, record, index, announce
+                    ),
+                )
+            else:
+                # A peer shard announces; we apply our half when the
+                # envelope lands at the next barrier.
+                self.pending_remote[index] = fspec
+
+    def _fire(
+        self,
+        fspec: FailureSpec,
+        record: Injection,
+        index: int,
+        announce: bool,
+    ) -> None:
+        inject_now(self.deployment, fspec, record)
+        if announce:
+            self.outbox.append((record.time, index))
+
+    # ----- gossip -------------------------------------------------------
+
+    def _contexts_by_digest(self) -> dict[Digest, ProbeGenContext]:
+        """Digest -> underlying context, one entry per distinct context.
+
+        Monitors on a shared entry resolve to the same base context;
+        the first (sorted node order) wins on a within-shard digest
+        collision, matching the registry's own dedup preference.
+        """
+        by_digest: dict[Digest, ProbeGenContext] = {}
+        seen: set[int] = set()
+        for node in self.deployment.monitored_nodes:
+            monitor = self.deployment.monitor(node)
+            context = monitor.probe_context
+            base = (
+                context.base_context()
+                if hasattr(context, "base_context")
+                else context
+            )
+            if id(base) in seen:
+                continue
+            seen.add(id(base))
+            digest: Digest = (
+                generator_key(monitor.generator),
+                base.table.fingerprint(),
+            )
+            by_digest.setdefault(digest, base)
+        return by_digest
+
+    def gossip_advertisement(self) -> dict[Digest, int]:
+        """``{digest: fresh-cache size}`` for this barrier window."""
+        return {
+            digest: base.cache_size()
+            for digest, base in self._contexts_by_digest().items()
+        }
+
+    def fulfill_exports(
+        self, requests: list[Digest]
+    ) -> dict[Digest, GossipPayload]:
+        """Ship the probe caches the coordinator asked this shard for.
+
+        A request is only honored while the digest still matches (the
+        table may have churned since the advertisement); the payload
+        carries the exact rule-signature sequence so the importer can
+        verify order-sensitive identity, not just the commutative
+        fingerprint.
+        """
+        by_digest = self._contexts_by_digest()
+        exports: dict[Digest, GossipPayload] = {}
+        for digest in requests:
+            base = by_digest.get(digest)
+            if base is None:
+                continue
+            signatures = tuple(_rule_sig(rule) for rule in base.table)
+            exports[digest] = (signatures, base.export_cache())
+        return exports
+
+    def apply_imports(
+        self, imports: dict[Digest, GossipPayload]
+    ) -> None:
+        """Adopt shipped probe caches into matching local contexts."""
+        by_digest = self._contexts_by_digest()
+        for digest, (signatures, entries) in imports.items():
+            base = by_digest.get(digest)
+            if base is None:
+                continue
+            if tuple(_rule_sig(rule) for rule in base.table) != signatures:
+                continue
+            self.gossip_imported += base.import_cache(entries)
+
+    # ----- barrier windows ----------------------------------------------
+
+    def run_window(
+        self, until: float, deliveries: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Apply deliveries, advance to ``until``, report the window.
+
+        Deliveries land at the window *start* (one barrier quantum
+        after announcement at worst — the latency bound the sharding
+        tests pin); the reply carries this window's envelopes, gossip
+        advertisement, fulfilled exports, and the next pending event
+        time so the coordinator can fast-forward idle stretches.
+        """
+        for time, index in sorted(deliveries.get("envelopes", [])):
+            fspec = self.pending_remote.pop(index, None)
+            if fspec is None:
+                continue
+            inject_now(
+                self.deployment, fspec, self.injections[index], time=time
+            )
+        self.apply_imports(deliveries.get("imports", {}))
+        exports = self.fulfill_exports(
+            deliveries.get("export_requests", [])
+        )
+        self.deployment.sim.run(until)
+        emitted, self.outbox = self.outbox, []
+        return {
+            "emitted": emitted,
+            "digests": self.gossip_advertisement(),
+            "exports": exports,
+            "next_event": self.deployment.sim.next_event_time(),
+        }
+
+    # ----- final collection ---------------------------------------------
+
+    def result(self) -> ShardResult:
+        """Collect this shard's metrics bundle after the last window."""
+        indices = sorted(self.injections)
+        metrics = collect_fleet_metrics(
+            self.deployment,
+            injections=[self.injections[i] for i in indices],
+            workloads=self.workloads,
+            duration=self.spec.duration,
+        )
+        latencies: list[float] = []
+        for workload in self.workloads:
+            if isinstance(workload, RuleChurn):
+                latencies.extend(workload.confirmation_latencies())
+        trace_rows: list[tuple] = []
+        trace_emitted = 0
+        obs = self.deployment.obs
+        if obs.enabled:
+            trace_rows = obs.trace.raw_events()
+            trace_emitted = obs.trace.emitted
+        return ShardResult(
+            shard=self.shard,
+            metrics=metrics,
+            injection_indices=indices,
+            confirmation_latencies=latencies,
+            trace_rows=trace_rows,
+            trace_emitted=trace_emitted,
+            gossip_entries_imported=self.gossip_imported,
+        )
+
+
+def worker_main(
+    conn: "Connection", spec: "ScenarioSpec", plan: ShardPlan, shard: int
+) -> None:
+    """Process entry point: build, handshake, serve barrier windows.
+
+    Protocol (coordinator side in :mod:`repro.fleet.coordinator`):
+
+    * -> ``("ready",)`` once the shard deployment is built;
+    * <- ``("run", until, deliveries)`` / -> ``("window", payload)``;
+    * <- ``("finish",)`` / -> ``("result", ShardResult)``;
+    * -> ``("error", traceback)`` on any exception, then exit.
+    """
+    try:
+        worker = ShardWorker(spec, plan, shard)
+        conn.send(("ready",))
+        while True:
+            command = conn.recv()
+            if command[0] == "run":
+                _, until, deliveries = command
+                conn.send(("window", worker.run_window(until, deliveries)))
+            elif command[0] == "finish":
+                conn.send(("result", worker.result()))
+                return
+            else:  # pragma: no cover - protocol misuse is a bug
+                raise RuntimeError(f"unknown command {command[0]!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()

@@ -58,6 +58,11 @@ class SteadyRules(Workload):
 
     def setup(self, deployment: FleetDeployment) -> None:
         for index, node in enumerate(deployment.nodes):
+            # The dst block is keyed by the node's position in the
+            # *full* deployment order, so a sharded worker (which only
+            # installs on its own shard) builds byte-identical rules.
+            if not deployment.owns(node):
+                continue
             ports = deployment.neighbor_ports(node)
             if not ports:
                 continue
@@ -206,6 +211,13 @@ class RuleChurn(Workload):
         self, node: Hashable, op: str, match: Match, mod: FlowMod
     ) -> None:
         deployment = self._deployment
+        if not deployment.owns(node):
+            # Sharded worker: every worker runs the *full* fleet-wide
+            # churn bookkeeping (RNG draws, live/free tracking, FlowMod
+            # construction) so its stream is an exact restriction of
+            # the global one — only the send is ownership-gated.  The
+            # per-shard record lists then partition the global list.
+            return
         record = ChurnRecord(node=node, op=op, sent_at=deployment.sim.now)
         self.records.append(record)
 
@@ -244,6 +256,8 @@ class AclTables(Workload):
 
     def setup(self, deployment: FleetDeployment) -> None:
         for index, node in enumerate(deployment.nodes[: self.num_switches]):
+            if not deployment.owns(node):
+                continue
             ports = deployment.neighbor_ports(node)
             if not ports:
                 continue
@@ -300,6 +314,14 @@ class BackgroundTraffic(Workload):
         rng = deployment.rng.fork(0x7F)
         for i in range(self.flows):
             u, v = edges[i % len(edges)]
+            # Draw the jitter before the ownership gate so every
+            # sharded worker's RNG stream stays aligned with the
+            # single-process run.  Flows whose endpoints span shards
+            # are skipped entirely: data-plane traffic does not cross
+            # the shard channel (a documented sharding limitation).
+            jitter = rng.uniform(0.0, 1.0 / self.rate)
+            if not (deployment.owns(u) and deployment.owns(v)):
+                continue
             src = deployment.network.add_host(f"src{i}", u)
             dst = deployment.network.add_host(f"dst{i}", v)
             dst_addr = TRAFFIC_DST_BASE + i
@@ -331,7 +353,7 @@ class BackgroundTraffic(Workload):
                 ),
             )
             generator = TrafficGenerator(deployment.sim, src, spec, self.rate)
-            generator.start(jitter=rng.uniform(0.0, 1.0 / self.rate))
+            generator.start(jitter=jitter)
             self.generators.append(generator)
             self.sinks.append(dst)
 

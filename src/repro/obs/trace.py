@@ -99,6 +99,22 @@ class TraceRecorder:
         self.emitted += 1
         self._buffer.append((ts, etype, node, span, args or {}))
 
+    def extend_raw(self, rows: Iterable[tuple]) -> None:
+        """Bulk-append raw ``(ts, etype, node, span, args)`` rows.
+
+        The sharded-fleet coordinator merges per-worker trace rings
+        into one recorder with this: rows arrive already in the raw
+        buffer format (see :meth:`raw_events`), pre-sorted by the
+        caller into global sim-time order.
+        """
+        for row in rows:
+            self.emitted += 1
+            self._buffer.append(row)
+
+    def raw_events(self) -> list[tuple]:
+        """The retained events as raw buffer tuples (picklable)."""
+        return list(self._buffer)
+
     # ----- introspection ---------------------------------------------------
 
     def __len__(self) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.openflow.actions import CONTROLLER_PORT
+from repro.openflow.actions import CONTROLLER_PORT, ActionList
 from repro.openflow.fields import FieldName
 from repro.openflow.messages import (
     BarrierReply,
@@ -60,7 +60,7 @@ def apply_flowmod(table: FlowTable, mod: FlowMod) -> list[Rule]:
         return [rule]
     if command in (FlowModCommand.MODIFY, FlowModCommand.MODIFY_STRICT):
         if command is FlowModCommand.MODIFY_STRICT:
-            targets = []
+            targets: list[Rule] = []
             existing = table.get(mod.priority, mod.match)
             if existing is not None:
                 targets = [existing]
@@ -76,7 +76,7 @@ def apply_flowmod(table: FlowTable, mod: FlowMod) -> list[Rule]:
             )
             table.install(rule)
             return [rule]
-        updated = []
+        updated: list[Rule] = []
         for target in targets:
             new_rule = target.with_actions(mod.actions)
             table.install(new_rule)
@@ -345,7 +345,9 @@ class SimulatedSwitch:
         """Silently remove a rule from the data plane only (§8.1.1)."""
         return self.dataplane.remove(rule)
 
-    def corrupt_rule_in_dataplane(self, rule: Rule, actions) -> None:
+    def corrupt_rule_in_dataplane(
+        self, rule: Rule, actions: ActionList
+    ) -> None:
         """Replace a data-plane rule's actions without telling anyone."""
         existing = self.dataplane.get(rule.priority, rule.match)
         if existing is None:

@@ -45,6 +45,31 @@ def ring(length: int) -> nx.Graph:
     return graph
 
 
+def islands(size: int, island: int = 8) -> nx.Graph:
+    """``size`` switches as disconnected rings of ``island`` switches.
+
+    The cleanly partitionable fleet: a shard planner can cut between
+    islands with zero cross-shard links, so sharded runs are
+    barrier-free and byte-identical to single-process runs.  A final
+    partial island becomes a ring when it has >= 3 switches, else a
+    chain.  Node names: ``isl{i:02d}_sw{j}``.
+    """
+    if size < 1:
+        raise ValueError("need at least one switch")
+    if island < 1:
+        raise ValueError("island size must be >= 1")
+    graph = nx.Graph()
+    for base in range(0, size, island):
+        count = min(island, size - base)
+        names = [f"isl{base // island:02d}_sw{j}" for j in range(count)]
+        graph.add_nodes_from(names)
+        for left, right in zip(names, names[1:]):
+            graph.add_edge(left, right)
+        if count >= 3:
+            graph.add_edge(names[-1], names[0])
+    return graph
+
+
 def fat_tree(k: int = 4) -> nx.Graph:
     """A k-ary FatTree (k even): (k/2)^2 core, k*k/2 agg, k*k/2 edge.
 

@@ -1,0 +1,289 @@
+"""Tests for the sharded multi-process fleet runtime.
+
+Three layers:
+
+* unit — shard planning (round_robin/locality, cut edges, clamping)
+  and the coordinator-side fingerprint-gossip directory;
+* mechanism — probe-cache export/import round-trips with the
+  order-sensitive rule-signature guard;
+* end-to-end — the determinism pin (a partitionable scenario produces
+  a byte-identical alarm timeline at ``workers=4`` and ``workers=1``)
+  and the cut-latency bound (a cross-shard failure is detected within
+  one barrier quantum of the in-process run).
+"""
+
+from dataclasses import replace
+
+import networkx as nx
+import pytest
+
+from repro.core.probegen import ProbeGenContext, ProbeGenerator
+from repro.fleet.failures import LinkFailure, RuleDrop
+from repro.fleet.runner import ScenarioError, ScenarioSpec, run_scenario
+from repro.fleet.sharding import (
+    GossipDirectory,
+    plan_shards,
+)
+from repro.openflow.actions import output
+from repro.openflow.match import Match
+from repro.openflow.rule import Rule
+from repro.topology.generators import islands, linear
+
+
+class TestShardPlan:
+    def test_locality_on_islands_cuts_nothing(self):
+        graph = islands(16, island=4)
+        plan = plan_shards(graph, 4, "locality")
+        assert plan.workers == 4
+        assert plan.is_pure
+        assert [len(shard) for shard in plan.shards] == [4, 4, 4, 4]
+        # Each shard is one island: connected in the original graph.
+        for shard in plan.shards:
+            assert nx.is_connected(graph.subgraph(shard))
+
+    def test_locality_on_linear_cuts_one_link_per_boundary(self):
+        plan = plan_shards(linear(8), 2, "locality")
+        assert len(plan.cut_edges) == 1
+        assert not plan.is_pure
+
+    def test_round_robin_covers_all_nodes_balanced(self):
+        graph = linear(10)
+        plan = plan_shards(graph, 3, "round_robin")
+        seen = [node for shard in plan.shards for node in shard]
+        assert sorted(seen, key=repr) == sorted(graph.nodes, key=repr)
+        sizes = sorted(len(shard) for shard in plan.shards)
+        assert sizes == [3, 3, 4]
+
+    def test_owner_is_consistent_with_shards(self):
+        plan = plan_shards(linear(6), 2, "locality")
+        for index, shard in enumerate(plan.shards):
+            for node in shard:
+                assert plan.owner(node) == index
+
+    def test_workers_clamped_to_node_count(self):
+        plan = plan_shards(linear(3), 8, "round_robin")
+        assert plan.workers == 3
+
+    def test_plans_are_deterministic(self):
+        for policy in ("round_robin", "locality"):
+            first = plan_shards(islands(16, island=4), 3, policy)
+            second = plan_shards(islands(16, island=4), 3, policy)
+            assert first.shards == second.shards
+            assert first.cut_edges == second.cut_edges
+
+
+class TestGossipDirectory:
+    DIGEST_A = (("gen", 1), "aa" * 8)
+    DIGEST_B = (("gen", 1), "bb" * 8)
+    PAYLOAD = ((("sig",),), [("entry",)])
+
+    def test_single_holder_is_never_asked_to_export(self):
+        directory = GossipDirectory()
+        directory.publish(0, {self.DIGEST_A: 5})
+        directory.publish(1, {self.DIGEST_B: 5})
+        assert directory.export_requests() == {}
+
+    def test_two_holders_trigger_one_export_request(self):
+        directory = GossipDirectory()
+        directory.publish(0, {self.DIGEST_A: 5})
+        directory.publish(1, {self.DIGEST_A: 2})
+        requests = directory.export_requests()
+        # The richest holder (shard 0) is asked, exactly once.
+        assert requests == {0: [self.DIGEST_A]}
+        # Not re-requested while the first request is outstanding.
+        assert directory.export_requests() == {}
+
+    def test_tie_breaks_toward_the_lowest_shard(self):
+        directory = GossipDirectory()
+        directory.publish(2, {self.DIGEST_A: 3})
+        directory.publish(1, {self.DIGEST_A: 3})
+        assert directory.export_requests() == {1: [self.DIGEST_A]}
+
+    def test_payload_routes_to_other_holders_only(self):
+        directory = GossipDirectory()
+        for shard in (0, 1, 2):
+            directory.publish(shard, {self.DIGEST_A: shard + 1})
+        directory.export_requests()  # asks shard 2 (richest)
+        directory.receive_exports(2, {self.DIGEST_A: self.PAYLOAD})
+        assert directory.imports_for(2) == {}
+        assert directory.imports_for(0) == {self.DIGEST_A: self.PAYLOAD}
+        assert directory.imports_for(1) == {self.DIGEST_A: self.PAYLOAD}
+        # Delivery is once per shard, not once per window.
+        assert directory.imports_for(0) == {}
+        assert directory.entries_shipped == 1
+
+    def test_late_holder_of_delivered_digest_still_gets_payload(self):
+        directory = GossipDirectory()
+        directory.publish(0, {self.DIGEST_A: 4})
+        directory.publish(1, {self.DIGEST_A: 1})
+        directory.export_requests()
+        directory.receive_exports(0, {self.DIGEST_A: self.PAYLOAD})
+        assert directory.imports_for(1) == {self.DIGEST_A: self.PAYLOAD}
+        directory.publish(3, {self.DIGEST_A: 0})
+        assert directory.imports_for(3) == {self.DIGEST_A: self.PAYLOAD}
+
+
+CATCH = Match.build(dl_vlan=0xF03)
+
+
+def _context(rules):
+    context = ProbeGenContext(ProbeGenerator(catch_match=CATCH))
+    for rule in rules:
+        context.add_rule(rule)
+    return context
+
+
+def _rule(priority, dst):
+    return Rule(
+        priority=priority,
+        match=Match.build(nw_dst=dst),
+        actions=output(1),
+    )
+
+
+class TestCacheShipping:
+    def test_export_import_roundtrip_serves_cache_hits(self):
+        rules = [_rule(10, 0x0A000001), _rule(20, 0x0A000002)]
+        exporter = _context(rules)
+        for rule in exporter.table:
+            assert exporter.probe_for(rule).ok
+        entries = exporter.export_cache()
+        assert len(entries) == len(rules)
+
+        importer = _context(rules)
+        assert importer.import_cache(entries) == len(rules)
+        solves = importer.stats.probes_generated
+        for rule in importer.table:
+            assert importer.probe_for(rule).ok
+        # Every probe was served from the shipped cache.
+        assert importer.stats.probes_generated == solves
+        assert importer.stats.cache_hits >= len(rules)
+
+    def test_import_skips_rules_the_table_does_not_hold(self):
+        exporter = _context([_rule(10, 0x0A000001), _rule(20, 0x0A000002)])
+        for rule in exporter.table:
+            exporter.probe_for(rule)
+        importer = _context([_rule(10, 0x0A000001)])
+        assert importer.import_cache(exporter.export_cache()) == 1
+
+
+def _pure_spec(**overrides):
+    """Two islands of 8 switches — partitionable along island lines."""
+    spec = ScenarioSpec(
+        topology="islands",
+        size=16,
+        duration=1.0,
+        seed=7,
+        rules_per_switch=6,
+        probe_rate=200.0,
+        failures=(
+            RuleDrop(at=0.3, node="isl00_sw1", rule_index=2),
+            RuleDrop(at=0.4, node="isl01_sw2", rule_index=1),
+        ),
+    )
+    return replace(spec, **overrides) if overrides else spec
+
+
+class TestShardedScenarios:
+    def test_determinism_pin_workers4_matches_workers1(self):
+        """The headline invariant: on a partitionable scenario the
+        sharded runtime's alarm timeline is byte-identical to the
+        in-process run, whatever the worker count."""
+        baseline = run_scenario(_pure_spec())
+        sharded = run_scenario(_pure_spec(workers=4))
+        b, s = baseline.metrics, sharded.metrics
+        assert s.alarm_timeline == b.alarm_timeline
+        assert s.probes_sent == b.probes_sent
+        assert s.probes_confirmed == b.probes_confirmed
+        assert s.probes_routed == b.probes_routed
+        assert s.false_alarms == b.false_alarms
+        assert [d.detected_at for d in s.detections] == [
+            d.detected_at for d in b.detections
+        ]
+        # Four workers split each 8-switch island in two, so this run
+        # exercises the barrier path — and the timeline STILL matches:
+        # single-node failures have one owner, probe transit never
+        # crosses the process boundary, and barriers only delay
+        # envelope delivery (of which there is none here).
+        assert s.workers == 4 and s.cut_links > 0 and s.barriers > 0
+
+    def test_workers2_pure_partition_is_barrier_free(self):
+        baseline = run_scenario(_pure_spec())
+        sharded = run_scenario(_pure_spec(workers=2))
+        s = sharded.metrics
+        assert s.alarm_timeline == baseline.metrics.alarm_timeline
+        # Two workers on two islands: the cut is empty, so each shard
+        # ran start-to-finish in a single window.
+        assert s.cut_links == 0 and s.barriers == 0
+
+    def test_cross_shard_failure_detected_within_one_quantum(self):
+        quantum = 0.15
+        spec = ScenarioSpec(
+            topology="linear",
+            size=6,
+            duration=1.2,
+            seed=11,
+            rules_per_switch=6,
+            probe_rate=200.0,
+            failures=(LinkFailure(at=0.4, u="sw2", v="sw3"),),
+        )
+        baseline = run_scenario(spec)
+        sharded = run_scenario(
+            replace(spec, workers=2, barrier_quantum=quantum)
+        )
+        assert sharded.metrics.cut_links >= 1
+        assert sharded.metrics.barriers >= 1
+        (base_det,) = baseline.metrics.detections
+        (shard_det,) = sharded.metrics.detections
+        assert base_det.detected and shard_det.detected
+        # The merged injection record spans the cut: both endpoints'
+        # nodes and cookies were unioned by the coordinator.
+        assert {"sw2", "sw3"} <= set(shard_det.injection.nodes)
+        # Envelopes land one barrier late at worst.
+        assert abs(shard_det.latency - base_det.latency) <= quantum
+
+    def test_gossip_digests_flow_between_shards(self):
+        result = run_scenario(_pure_spec(workers=2, barrier_quantum=0.25))
+        # Pure partitions skip gossip entirely (no barriers) — force a
+        # cut scenario to see the advertisement traffic.
+        assert result.metrics.gossip_digests_published == 0
+        cut = run_scenario(
+            ScenarioSpec(
+                topology="linear",
+                size=6,
+                duration=0.8,
+                seed=3,
+                rules_per_switch=4,
+                probe_rate=100.0,
+                workers=2,
+                barrier_quantum=0.2,
+            )
+        )
+        assert cut.metrics.gossip_digests_published > 0
+
+    def test_workers1_takes_the_in_process_path(self):
+        result = run_scenario(_pure_spec(workers=1))
+        assert result.deployment is not None
+        assert result.metrics.workers == 1
+
+    def test_sharded_report_renders(self):
+        from repro.fleet.report import format_fleet_report
+
+        result = run_scenario(_pure_spec(workers=2))
+        report = format_fleet_report(result.metrics)
+        assert "sharding: 2 workers" in report
+        assert "locality policy" in report
+
+    def test_sharded_json_export_roundtrips(self):
+        import json
+
+        result = run_scenario(_pure_spec(workers=2))
+        payload = json.loads(json.dumps(result.metrics.to_json()))
+        assert payload["aggregates"]["workers"] == 2
+        assert payload["aggregates"]["barriers"] == 0
+
+    def test_workers_reject_metrics_out_and_max_events(self):
+        with pytest.raises(ScenarioError):
+            _pure_spec(workers=2, metrics_out="/tmp/m.prom").validate()
+        with pytest.raises(ScenarioError):
+            _pure_spec(workers=2, max_events=1000).validate()

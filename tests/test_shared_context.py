@@ -168,6 +168,55 @@ class TestRegistry:
         assert registry.stats.warm_forks == 1
         assert registry.stats.rewinds == 1
 
+    def test_staggered_divergence_warm_forks_the_behind_diverger(self):
+        """A behind handle diverging while a sibling sits mid-log — a
+        staggered divergence the shared rewind cannot untangle — used
+        to cold-fork from the handle's table; the undo-based fork now
+        clones the shared context (keeping its solver warm) and rolls
+        the foreign operations back on the private copy."""
+        registry = SharedContextRegistry()
+        a = registry.acquire(_generator())
+        b = registry.acquire(_generator())
+        c = registry.acquire(_generator())
+        base = _rule(10, 0x0A000001)
+        for handle in (a, b, c):
+            handle.add_rule(base)
+        a.probe_for(base)
+        # Pin demonstrable solver warmth (lemma counts are workload-
+        # dependent); a cold fork starts from an empty solver.
+        shared_context = a._entry.context
+        shared_context.solver._kept_lemmas.append([1])
+        op1 = _rule(20, 0x0A000002)
+        a.add_rule(op1)
+        c.add_rule(op1)
+        op2 = _rule(30, 0x0A000003)
+        a.add_rule(op2)
+        # Positions: a at the head, c one behind, b two behind — c is
+        # the staggered sibling that makes a shared rewind illegal.
+        b.add_rule(_rule(40, 0x0A000004))
+        assert b.forked and not a.forked and not c.forked
+        assert registry.stats.contexts_forked == 1
+        assert registry.stats.warm_forks == 1
+        assert registry.stats.rewinds == 0
+        assert b._own is not None
+        assert b._own.solver.lemma_count() >= 1
+        # The undo reconstruction rebuilt exactly b's view: the base
+        # rule plus the private one, none of the foreign ops.
+        assert [r.priority for r in b.table] == [40, 10]
+        assert [r.priority for r in a.table] == [30, 20, 10]
+        # Siblings keep sharing, and c still converges to the head.
+        assert a.is_shared and c.is_shared
+        c.add_rule(op2)
+        assert c.table is a.table
+        # The fork's probes are byte-equal to independent generation.
+        independent = ProbeGenContext(_generator())
+        independent.add_rule(base)
+        independent.add_rule(_rule(40, 0x0A000004))
+        for rule in list(b.table):
+            assert _probe_bytes(b.probe_for(rule)) == _probe_bytes(
+                independent.probe_for(independent.table.get(*rule.key()))
+            )
+
     def test_behind_reads_and_probes_never_fork_an_inflight_wave(self):
         registry = SharedContextRegistry()
         h1 = registry.acquire(_generator())
