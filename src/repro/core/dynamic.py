@@ -158,6 +158,12 @@ class DynamicMonitor:
         update.gave_up = True
         self.updates_given_up += 1
         self._unconfirmed.discard(update.token)
+        # An unconfirmable update is a strike against the switch: feed
+        # quarantine scoring (no-op unless quarantine is enabled).
+        # Deletions carry no rule keys — score them by xid so each
+        # distinct abandoned update still counts as one suspect.
+        for key in update.hint_keys or (("gaveup", update.mod.xid),):
+            self.monitor.note_suspect(key)
         if self.obs.enabled:
             self.obs.emit(
                 "update.gaveup",

@@ -59,6 +59,29 @@ class MonitorConfig:
     update_probe_interval: float = 0.005
     #: Give up confirming an update after this long (transient tolerance).
     update_deadline: float = 10.0
+    #: Alarm hysteresis: consecutive probe-timeout *strikes* a rule must
+    #: accumulate before a ``missing`` alarm is raised.  1 reproduces
+    #: the paper's immediate alarm byte-for-byte; >1 makes the monitor
+    #: robust to stochastic probe loss on a degraded control channel
+    #: (a lost probe costs one suppressed strike, not a false alarm).
+    alarm_confirmations: int = 1
+    #: First re-probe gap after a suppressed strike; each further
+    #: strike escalates it by ``suspicion_backoff`` up to
+    #: ``max_suspicion_interval`` (the same shape as probe-retry
+    #: backoff: prompt when suspicion is fresh, polite when the switch
+    #: keeps timing out).
+    suspicion_reprobe_interval: float = 0.010
+    suspicion_backoff: float = 2.0
+    max_suspicion_interval: float = 0.050
+    #: Per-switch quarantine: this many *distinct* suspect rules inside
+    #: ``quarantine_window`` downgrades the switch to best-effort —
+    #: ``missing`` alarms are suppressed (counted, traced) until the
+    #: switch stays strike-free for ``quarantine_exit`` seconds.
+    #: ``misbehaving`` alarms (positive evidence) always fire.
+    #: 0 disables quarantine.
+    quarantine_threshold: int = 0
+    quarantine_window: float = 0.5
+    quarantine_exit: float = 1.0
 
 
 @dataclass
@@ -193,6 +216,16 @@ class Monitor:
         self.probes_timed_out = 0
         self.rules_unmonitorable = 0
         self.stale_probes = 0
+        # Hysteresis / graceful degradation (all dormant — zero extra
+        # events, zero draws — at the default config).
+        #: rule key -> consecutive unconfirmed-timeout strikes.
+        self.suspicion: dict[tuple, int] = {}
+        #: rule key -> last strike time (quarantine scoring).
+        self._suspect_times: dict = {}
+        self._last_strike = 0.0
+        self.quarantined = False
+        self.quarantines = 0
+        self.alarms_suppressed = 0
         #: Observability: every hot-path publication site guards on
         #: ``obs.enabled``, so the default NULL_OBSERVER costs one
         #: attribute read per site (gated by BENCH_obs.json).
@@ -385,6 +418,7 @@ class Monitor:
         self.launch_probe(
             result,
             confirm_on="present",
+            on_confirm=self._steady_confirm,
             on_alarm=self._steady_alarm,
             span=span,
         )
@@ -397,6 +431,12 @@ class Monitor:
         )
 
     def _steady_alarm(self, probe: OutstandingProbe, kind: str) -> None:
+        if kind == "missing" and self._suppress_missing(probe):
+            return
+        # A raised alarm restarts the rule's strike count (the next
+        # alarm needs k fresh strikes); the suspect timestamp stays so
+        # an alarm storm still counts toward quarantine scoring.
+        self.suspicion.pop(probe.result.rule.key(), None)
         self.alarms.append(
             MonitorAlarm(
                 time=self.sim.now,
@@ -419,6 +459,156 @@ class Monitor:
         # Alarm history feeds the scheduler: weighted policies re-visit
         # misbehaving rules sooner.
         self.scheduler.record_alarm(probe.result.rule.key())
+
+    # ----- alarm hysteresis / quarantine -----------------------------------
+
+    def _steady_confirm(self, probe: OutstandingProbe) -> None:
+        """A steady probe confirmed: the rule is vindicated."""
+        if self.suspicion or self._suspect_times:
+            self._clear_suspicion(probe.result.rule.key())
+
+    def _clear_suspicion(self, key: tuple) -> None:
+        self.suspicion.pop(key, None)
+        self._suspect_times.pop(key, None)
+
+    def _suppress_missing(self, probe: OutstandingProbe) -> bool:
+        """The suspicion state machine's strike path.
+
+        Returns True when the ``missing`` alarm must be swallowed: the
+        rule has not yet accumulated ``alarm_confirmations`` strikes,
+        or the switch is quarantined.  Dormant (always False, no state
+        touched) at the default config.
+        """
+        config = self.config
+        if config.alarm_confirmations <= 1 and (
+            config.quarantine_threshold <= 0
+        ):
+            return False
+        rule = probe.result.rule
+        key = rule.key()
+        now = self.sim.now
+        self._last_strike = now
+        strikes = self.suspicion.get(key, 0) + 1
+        self.suspicion[key] = strikes
+        self._suspect_times[key] = now
+        self._maybe_quarantine(now)
+        if not self.quarantined and strikes >= config.alarm_confirmations:
+            # Confirmed missing: let the alarm through (strike count
+            # resets in the caller).
+            return False
+        self.alarms_suppressed += 1
+        if self.obs.enabled:
+            self.obs.emit(
+                "alarm.suppressed",
+                node=self.node,
+                span=probe.span or None,
+                kind="missing",
+                cookie=rule.cookie,
+                priority=rule.priority,
+                match=rule.match,
+                strikes=strikes,
+                quarantined=self.quarantined,
+            )
+        if not self.quarantined:
+            # Escalating re-probe: resolve the suspicion faster than
+            # the steady cycle would come back around.  A quarantined
+            # switch runs best-effort — steady cycle only, no extra
+            # probe pressure on an already-degraded channel.
+            self._schedule_suspicion_reprobe(rule, strikes)
+        return True
+
+    def _schedule_suspicion_reprobe(self, rule: Rule, strikes: int) -> None:
+        config = self.config
+        gap = min(
+            config.suspicion_reprobe_interval
+            * config.suspicion_backoff ** (strikes - 1),
+            config.max_suspicion_interval,
+        )
+        self.sim.schedule(gap, lambda: self._reprobe_suspect(rule))
+
+    def _reprobe_suspect(self, rule: Rule) -> None:
+        key = rule.key()
+        if key not in self.suspicion:
+            return  # vindicated (or alarmed) in the meantime
+        current = self.expected.get(rule.priority, rule.match)
+        if current is not rule:
+            # The rule left the expected table (or was replaced by an
+            # update): stale suspicion, drop it.
+            self._clear_suspicion(key)
+            return
+        if self._in_flight(key):
+            # The steady cycle beat us to it; its outcome feeds the
+            # same strike/confirm machinery.
+            return
+        result = self.probe_for_rule(rule)
+        if not result.ok:
+            self.rules_unmonitorable += 1
+            self._clear_suspicion(key)
+            return
+        self.launch_probe(
+            result,
+            confirm_on="present",
+            on_confirm=self._steady_confirm,
+            on_alarm=self._steady_alarm,
+        )
+
+    def note_suspect(self, key) -> None:
+        """External strike source for quarantine scoring.
+
+        Dynamic mode calls this when an update *gives up* — a switch
+        whose updates cannot be confirmed is flapping just as surely as
+        one whose steady probes time out.
+        """
+        if self.config.quarantine_threshold <= 0:
+            return
+        now = self.sim.now
+        self._last_strike = now
+        self._suspect_times[key] = now
+        self._maybe_quarantine(now)
+
+    def _maybe_quarantine(self, now: float) -> None:
+        threshold = self.config.quarantine_threshold
+        if threshold <= 0 or self.quarantined:
+            return
+        window_start = now - self.config.quarantine_window
+        recent = 0
+        for key, struck in list(self._suspect_times.items()):
+            if struck < window_start:
+                del self._suspect_times[key]
+            else:
+                recent += 1
+        if recent < threshold:
+            return
+        self.quarantined = True
+        self.quarantines += 1
+        if self.obs.enabled:
+            self.obs.emit(
+                "switch.quarantined",
+                node=self.node,
+                suspects=recent,
+            )
+        self.sim.schedule(
+            self.config.quarantine_exit, self._quarantine_check
+        )
+
+    def _quarantine_check(self) -> None:
+        if not self.quarantined:
+            return
+        quiet = self.sim.now - self._last_strike
+        if quiet >= self.config.quarantine_exit:
+            self.quarantined = False
+            self.suspicion.clear()
+            self._suspect_times.clear()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "switch.recovered",
+                    node=self.node,
+                    quiet_seconds=quiet,
+                )
+            return
+        self.sim.schedule(
+            self.config.quarantine_exit - quiet, self._quarantine_check
+        )
 
     # ----- probe lifecycle ---------------------------------------------------
 

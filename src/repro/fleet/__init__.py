@@ -18,6 +18,8 @@ failure-injected deployment and aggregates what happened:
 
 from repro.fleet.deployment import FleetDeployment
 from repro.fleet.failures import (
+    ChannelDegradation,
+    ControlPlaneFlap,
     FailureSpec,
     FailureSpecError,
     FlowModBlackhole,
@@ -42,6 +44,7 @@ from repro.fleet.runner import (
     ScenarioSpec,
     run_scenario,
 )
+from repro.fleet.shardworker import WorkerCrash, WorkerHang
 from repro.fleet.workloads import (
     AclTables,
     BackgroundTraffic,
@@ -52,6 +55,8 @@ from repro.fleet.workloads import (
 
 __all__ = [
     "FleetDeployment",
+    "ChannelDegradation",
+    "ControlPlaneFlap",
     "FailureSpec",
     "FailureSpecError",
     "FlowModBlackhole",
@@ -71,6 +76,8 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "run_scenario",
+    "WorkerCrash",
+    "WorkerHang",
     "AclTables",
     "BackgroundTraffic",
     "RuleChurn",

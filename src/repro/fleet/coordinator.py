@@ -18,6 +18,20 @@ through quantum-sized windows; anything announced inside window k
 window k+1, so cross-shard effects land at most one quantum late.
 Windows no shard has events in are fast-forwarded using each kernel's
 :meth:`~repro.sim.kernel.Simulator.next_event_time` peek.
+
+Self-healing: every reply doubles as a heartbeat.  The coordinator
+waits at most ``spec.worker_timeout`` wall-clock seconds for each one;
+a pipe EOF (crash) or a missed deadline (hang) triggers a respawn of
+just that shard.  Because shard state is a pure function of the
+commands a worker has processed — the deployment build is seeded, and
+fork-start replacements inherit the same module-global counters the
+original did (the coordinator never advances them between spawns) —
+the replacement is brought current by replaying the shard's command
+history and discarding the replayed replies, then the in-flight
+command is re-sent.  Restarts are budgeted per shard
+(``spec.max_worker_restarts``); a shard that exhausts its budget is
+marked failed and the scenario continues without it, yielding a
+*degraded* partial result instead of an abort.
 """
 
 from __future__ import annotations
@@ -62,6 +76,11 @@ def default_barrier_quantum(spec: "ScenarioSpec") -> float:
     return min(spec.probe_timeout, spec.duration / 4.0)
 
 
+#: Wall-clock seconds a worker may go silent before it counts as hung
+#: (overridable per scenario via ``ScenarioSpec.worker_timeout``).
+DEFAULT_WORKER_TIMEOUT = 60.0
+
+
 class _WorkerHandle:
     """One worker process plus its coordinator-side pipe end."""
 
@@ -71,32 +90,21 @@ class _WorkerHandle:
         spec: "ScenarioSpec",
         plan: ShardPlan,
         shard: int,
+        incarnation: int = 0,
     ) -> None:
         self.shard = shard
+        self.incarnation = incarnation
         self.conn: "Connection"
         self.conn, child = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
             target=worker_main,
-            args=(child, spec, plan, shard),
+            args=(child, spec, plan, shard, incarnation),
             daemon=True,
-            name=f"repro-shard-{shard}",
+            name=f"repro-shard-{shard}.{incarnation}",
         )
         self.process.start()
         child.close()
         self.next_event: float | None = None
-
-    def recv(self, expect: str) -> Any:
-        message = self.conn.recv()
-        if message[0] == "error":
-            raise ShardRunError(
-                f"shard {self.shard} worker failed:\n{message[1]}"
-            )
-        if message[0] != expect:
-            raise ShardRunError(
-                f"shard {self.shard} protocol error: got {message[0]!r}, "
-                f"expected {expect!r}"
-            )
-        return message[1] if len(message) > 1 else None
 
     def close(self) -> None:
         try:
@@ -108,44 +116,227 @@ class _WorkerHandle:
 
 
 class ShardRunError(RuntimeError):
-    """A worker process died or broke protocol."""
+    """A worker raised a deterministic error or broke protocol.
+
+    Deliberately *not* raised for crashes or hangs — those go through
+    the respawn path.  A worker that reports ``("error", traceback)``
+    hit a real exception that deterministic replay would only repeat,
+    so retrying is futile and the traceback surfaces immediately.
+    """
+
+
+class _WorkerDied(Exception):
+    """Transport-level worker loss: pipe EOF or missed heartbeat."""
+
+
+class _ShardDriver:
+    """Owns the worker fleet: spawn, command fan-out, self-healing.
+
+    Replies double as heartbeats — :meth:`_recv` waits at most
+    ``timeout`` wall-clock seconds before declaring the worker hung.
+    Crash (EOF) and hang funnel into :meth:`_respawn`, which replays
+    the shard's completed command history into a fresh process.
+    Replay is sound because a shard's state is a pure function of its
+    seeded build plus the command sequence: fork-start replacements
+    inherit module-global counters (xids, nonces) exactly as the
+    original spawn did, since the coordinator process never advances
+    them in between.
+    """
+
+    def __init__(
+        self,
+        ctx: multiprocessing.context.BaseContext,
+        spec: "ScenarioSpec",
+        plan: ShardPlan,
+    ) -> None:
+        self.ctx = ctx
+        self.spec = spec
+        self.plan = plan
+        self.timeout = spec.worker_timeout or DEFAULT_WORKER_TIMEOUT
+        self.budget = spec.max_worker_restarts
+        self.workers: list[_WorkerHandle | None] = [
+            _WorkerHandle(ctx, spec, plan, shard)
+            for shard in range(plan.workers)
+        ]
+        #: Completed ``("run", ...)`` commands per shard, replayed into
+        #: respawned replacements to rebuild pre-crash state.
+        self.history: list[list[tuple]] = [[] for _ in range(plan.workers)]
+        self.restarts = [0] * plan.workers
+        self.failed = [False] * plan.workers
+
+    # ----- lifecycle ----------------------------------------------------
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts)
+
+    def shard_status(self) -> list[str]:
+        return [
+            "failed"
+            if self.failed[shard]
+            else ("ok" if n == 0 else f"restarted x{n}")
+            for shard, n in enumerate(self.restarts)
+        ]
+
+    def live(self) -> list[_WorkerHandle]:
+        return [w for w in self.workers if w is not None]
+
+    def close(self) -> None:
+        for worker in self.workers:
+            if worker is not None:
+                worker.close()
+
+    def await_ready(self) -> None:
+        for shard in range(self.plan.workers):
+            worker = self.workers[shard]
+            if worker is None:  # pragma: no cover - defensive
+                continue
+            try:
+                self._recv(worker, "ready")
+            except _WorkerDied:
+                # _respawn consumes the replacement's ready handshake
+                # (and replays the — still empty — history).
+                self._respawn(shard)
+
+    # ----- command fan-out ----------------------------------------------
+
+    def broadcast(
+        self, commands: dict[int, tuple], expect: str
+    ) -> dict[int, Any]:
+        """Send each shard its command, then await every reply.
+
+        The two phases keep shards running concurrently.  Send errors
+        are swallowed (a closed pipe resurfaces as EOF in the await
+        phase, which owns recovery); a shard that fails its restart
+        budget mid-await yields ``None`` in the result map.
+        """
+        for shard, command in commands.items():
+            worker = self.workers[shard]
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(command)
+            except (BrokenPipeError, OSError):
+                pass
+        return {
+            shard: self._await(shard, command, expect)
+            for shard, command in commands.items()
+        }
+
+    def _await(self, shard: int, command: tuple, expect: str) -> Any:
+        while True:
+            worker = self.workers[shard]
+            if worker is None:
+                return None
+            try:
+                payload = self._recv(worker, expect)
+            except _WorkerDied:
+                if not self._respawn(shard):
+                    return None
+                # The replacement replayed history but never saw the
+                # in-flight command: re-send it and await again.
+                try:
+                    self.workers[shard].conn.send(command)
+                except (BrokenPipeError, OSError):
+                    pass
+                continue
+            if command[0] == "run":
+                self.history[shard].append(command)
+            return payload
+
+    def _recv(self, worker: _WorkerHandle, expect: str) -> Any:
+        if not worker.conn.poll(self.timeout):
+            raise _WorkerDied(
+                f"shard {worker.shard} missed its {self.timeout:g}s "
+                "reply deadline"
+            )
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise _WorkerDied(str(exc)) from exc
+        if message[0] == "error":
+            raise ShardRunError(
+                f"shard {worker.shard} worker failed:\n{message[1]}"
+            )
+        if message[0] != expect:
+            raise ShardRunError(
+                f"shard {worker.shard} protocol error: got "
+                f"{message[0]!r}, expected {expect!r}"
+            )
+        return message[1] if len(message) > 1 else None
+
+    # ----- self-healing -------------------------------------------------
+
+    def _respawn(self, shard: int) -> bool:
+        """Replace a dead/hung worker; replay its history.
+
+        Every spawn attempt counts against the shard's restart budget.
+        Returns False once the budget is exhausted — the shard is then
+        marked failed and excluded from the rest of the run.
+        """
+        old = self.workers[shard]
+        if old is not None:
+            old.close()
+        while True:
+            if self.restarts[shard] >= self.budget:
+                self.workers[shard] = None
+                self.failed[shard] = True
+                return False
+            self.restarts[shard] += 1
+            # Incarnation == total spawn attempts for this shard, so
+            # every process ever started gets a distinct number.
+            worker = _WorkerHandle(
+                self.ctx,
+                self.spec,
+                self.plan,
+                shard,
+                incarnation=self.restarts[shard],
+            )
+            self.workers[shard] = worker
+            try:
+                self._recv(worker, "ready")
+                for command in self.history[shard]:
+                    worker.conn.send(command)
+                    # Replay replies are byte-identical to the ones the
+                    # original already delivered; discard them.
+                    self._recv(worker, "window")
+            except _WorkerDied:
+                worker.close()
+                continue
+            return True
 
 
 def run_sharded_scenario(spec: "ScenarioSpec") -> "ScenarioResult":
     """Run one scenario across ``spec.workers`` shard processes."""
-    from repro.fleet.runner import ScenarioResult, run_scenario
+    from repro.fleet.runner import run_scenario
     from dataclasses import replace
 
     plan = plan_shards(
         spec.build_topology(), spec.workers, spec.shard_policy
     )
     if plan.workers <= 1:
-        # Fewer switches than workers: nothing to shard.
-        return run_scenario(replace(spec, workers=1))
+        # Fewer switches than workers: nothing to shard (worker chaos
+        # hooks target shards, so they have nothing to bite either).
+        return run_scenario(replace(spec, workers=1, chaos=()))
 
-    ctx = _mp_context()
-    workers = [
-        _WorkerHandle(ctx, spec, plan, shard)
-        for shard in range(plan.workers)
-    ]
+    driver = _ShardDriver(_mp_context(), spec, plan)
     try:
-        for worker in workers:
-            worker.recv("ready")
+        driver.await_ready()
         build_done = _time.perf_counter()
         directory = GossipDirectory()
-        barriers = _drive_windows(spec, plan, workers, directory)
-        results: list[ShardResult] = []
-        for worker in workers:
-            worker.conn.send(("finish",))
-        for worker in workers:
-            results.append(worker.recv("result"))
+        barriers = _drive_windows(spec, plan, driver, directory)
+        replies = driver.broadcast(
+            {w.shard: ("finish",) for w in driver.live()}, "result"
+        )
+        results: list[ShardResult] = [
+            reply for reply in replies.values() if reply is not None
+        ]
         run_seconds = _time.perf_counter() - build_done
     finally:
-        for worker in workers:
-            worker.close()
+        driver.close()
 
     return _merge_results(
-        spec, plan, results, directory, barriers, run_seconds
+        spec, plan, results, directory, barriers, run_seconds, driver
     )
 
 
@@ -166,10 +357,34 @@ def _route_envelopes(
     return routed
 
 
+def _run_and_ingest(
+    driver: _ShardDriver,
+    directory: GossipDirectory,
+    commands: dict[int, tuple],
+) -> list[tuple[float, int]]:
+    """One barrier round: fan out run commands, ingest the replies.
+
+    Gossip and envelope bookkeeping happens here so a shard that fails
+    its restart budget mid-round simply contributes nothing (its reply
+    is ``None``); the round still completes for the survivors.
+    """
+    emitted: list[tuple[float, int]] = []
+    for shard, payload in driver.broadcast(commands, "window").items():
+        if payload is None:
+            continue
+        emitted.extend(payload["emitted"])
+        directory.publish(shard, payload["digests"])
+        directory.receive_exports(shard, payload["exports"])
+        worker = driver.workers[shard]
+        if worker is not None:
+            worker.next_event = payload["next_event"]
+    return emitted
+
+
 def _drive_windows(
     spec: "ScenarioSpec",
     plan: ShardPlan,
-    workers: list[_WorkerHandle],
+    driver: _ShardDriver,
     directory: GossipDirectory,
 ) -> int:
     """Step every shard to ``spec.duration``; returns the barrier count.
@@ -180,10 +395,13 @@ def _drive_windows(
     """
     duration = spec.duration
     if plan.is_pure:
-        for worker in workers:
-            worker.conn.send(("run", duration, {}))
-        for worker in workers:
-            worker.recv("window")
+        # Replies are still awaited (the broadcast owns crash
+        # recovery) but their gossip goes unpublished: pure partitions
+        # have no cut, so cross-shard cache shipping is all cost.
+        driver.broadcast(
+            {w.shard: ("run", duration, {}) for w in driver.live()},
+            "window",
+        )
         return 0
 
     quantum = spec.barrier_quantum or default_barrier_quantum(spec)
@@ -192,6 +410,7 @@ def _drive_windows(
     now = 0.0
     while now < duration:
         target = min(duration, now + quantum)
+        workers = driver.live()
         next_times = [
             w.next_event for w in workers if w.next_event is not None
         ]
@@ -205,6 +424,7 @@ def _drive_windows(
             # lock-stepping through empty quanta.
             target = min(duration, min(next_times) + quantum)
         requests = directory.export_requests()
+        commands: dict[int, tuple] = {}
         for worker in workers:
             deliveries: dict[str, Any] = {}
             if worker.shard in pending:
@@ -215,19 +435,14 @@ def _drive_windows(
             imports = directory.imports_for(worker.shard)
             if imports:
                 deliveries["imports"] = imports
-            worker.conn.send(("run", target, deliveries))
+            commands[worker.shard] = ("run", target, deliveries)
         pending = {}
-        emitted: list[tuple[float, int]] = []
-        for worker in workers:
-            payload = worker.recv("window")
-            emitted.extend(payload["emitted"])
-            directory.publish(worker.shard, payload["digests"])
-            directory.receive_exports(worker.shard, payload["exports"])
-            worker.next_event = payload["next_event"]
+        emitted = _run_and_ingest(driver, directory, commands)
         for shard, envelopes in _route_envelopes(
             spec, plan, emitted
         ).items():
-            pending.setdefault(shard, []).extend(envelopes)
+            if driver.workers[shard] is not None:
+                pending.setdefault(shard, []).extend(envelopes)
         barriers += 1
         now = target
     if pending:
@@ -235,12 +450,18 @@ def _drive_windows(
         # zero-length window so the peer's injection record is filled
         # (no sim time remains for alarms, but the merged report must
         # still describe the injection).
-        for worker in workers:
-            worker.conn.send(
-                ("run", duration, {"envelopes": pending.get(worker.shard, [])})
-            )
-        for worker in workers:
-            worker.recv("window")
+        _run_and_ingest(
+            driver,
+            directory,
+            {
+                w.shard: (
+                    "run",
+                    duration,
+                    {"envelopes": pending.get(w.shard, [])},
+                )
+                for w in driver.live()
+            },
+        )
         barriers += 1
     return barriers
 
@@ -252,6 +473,7 @@ def _merge_results(
     directory: GossipDirectory,
     barriers: int,
     run_seconds: float,
+    driver: _ShardDriver,
 ) -> "ScenarioResult":
     from repro.fleet.runner import ScenarioResult
 
@@ -275,6 +497,9 @@ def _merge_results(
     metrics.gossip_entries_imported = sum(
         res.gossip_entries_imported for res in results
     )
+    metrics.worker_restarts = driver.total_restarts
+    metrics.shards_failed = sum(driver.failed)
+    metrics.shard_status = driver.shard_status()
 
     observer = spec.build_observer()
     if observer is not None:
@@ -295,6 +520,8 @@ def _merge_results(
         metrics=metrics,
         observer=observer,
         timings={"run_seconds": run_seconds},
+        restarts=driver.total_restarts,
+        degraded=any(driver.failed),
     )
     result.export()
     return result

@@ -221,6 +221,10 @@ class FleetDeployment:
             sync("monocle_probes_timed_out_total",
                  monitor.probes_timed_out, node=label)
             sync("monocle_alarms_total", len(monitor.alarms), node=label)
+            sync("monocle_alarms_suppressed_total",
+                 monitor.alarms_suppressed, node=label)
+            sync("monocle_quarantines_total", monitor.quarantines,
+                 node=label)
             context = monitor.probe_context
             genstats = context.stats
             sync("monocle_probegen_solves_total",

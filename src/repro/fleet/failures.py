@@ -18,10 +18,12 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.fleet.deployment import FleetDeployment
+from repro.network.conditioning import ChannelConditions
 from repro.openflow.actions import output
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod, FlowModCommand, next_xid
 from repro.openflow.rule import Rule
+from repro.sim.random import DeterministicRandom
 
 #: Destination block for rules created by FlowModBlackhole injections.
 BLACKHOLE_DST_BASE = 0x90000000
@@ -45,6 +47,12 @@ class Injection:
             to this injection (link/port failures disturb probing of
             every rule on the adjacent switches, not just the rules
             that forwarded across the dead link).
+        chaos: this injection degrades the *substrate* (the control
+            channel), not the data plane.  Chaos injections never
+            explain an alarm — a probe lost to channel loss that still
+            raises ``missing`` is exactly the false alarm the
+            hysteresis layer must suppress — and never count toward
+            detection coverage.
     """
 
     kind: str
@@ -53,12 +61,15 @@ class Injection:
     cookies: set = field(default_factory=set)
     broad: bool = False
     description: str = ""
+    chaos: bool = False
     #: Set when the spec could not be injected at fire time (e.g. no
     #: production rule to fail); such an injection never detects.
     error: str | None = None
 
     def explains(self, node: Hashable, alarm) -> bool:
         """Could this injection have caused ``alarm`` on ``node``?"""
+        if self.chaos:
+            return False
         if alarm.time < self.time or node not in self.nodes:
             return False
         return self.broad or alarm.rule.cookie in self.cookies
@@ -66,7 +77,8 @@ class Injection:
     def is_detection(self, node: Hashable, alarm) -> bool:
         """Is ``alarm`` direct evidence of this injection?"""
         return (
-            alarm.time >= self.time
+            not self.chaos
+            and alarm.time >= self.time
             and node in self.nodes
             and alarm.rule.cookie in self.cookies
         )
@@ -79,12 +91,25 @@ class FailureSpec:
     at: float
 
     kind = "failure"
+    #: Chaos specs degrade the substrate, not the data plane; their
+    #: records carry ``Injection.chaos`` and are excluded from
+    #: detection accounting.
+    chaos = False
 
-    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
         raise NotImplementedError
 
     def _victim(
-        self, deployment: FleetDeployment, node: Hashable, index: int | None
+        self,
+        deployment: FleetDeployment,
+        node: Hashable,
+        index: int | None,
+        rng: DeterministicRandom | None = None,
     ) -> Rule:
         rules = deployment.production_rules.get(node, [])
         if not rules:
@@ -92,8 +117,27 @@ class FailureSpec:
                 f"no production rules on {node!r} to fail at t={self.at}"
             )
         if index is None:
-            return deployment.rng.choose(rules)
+            # The spec-indexed stream (threaded down from
+            # schedule_failures / the shard worker) makes random
+            # victims byte-identical at any worker count; the shared
+            # fleet stream remains only as a back-compat fallback for
+            # direct inject() callers.
+            return (rng or deployment.rng).choose(rules)
         return rules[index % len(rules)]
+
+
+def failure_rng(
+    deployment: FleetDeployment, spec_index: int
+) -> DeterministicRandom:
+    """The spec-indexed stream for one failure's random draws.
+
+    Forked from the fleet stream's *seed* (forks never advance parent
+    state), so the stream depends only on the deployment seed and the
+    spec's position in ``ScenarioSpec.failures`` — not on how many
+    draws other subsystems or other specs made first, and not on which
+    shard applies the spec.
+    """
+    return deployment.rng.fork((0xFA11 << 16) | spec_index)
 
 
 @dataclass(frozen=True)
@@ -105,8 +149,13 @@ class RuleDrop(FailureSpec):
 
     kind = "rule_drop"
 
-    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
-        rule = self._victim(deployment, self.node, self.rule_index)
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
+        rule = self._victim(deployment, self.node, self.rule_index, rng)
         if not deployment.switch(self.node).fail_rule_in_dataplane(rule):
             raise FailureSpecError(
                 f"rule {rule.match!r} already absent from {self.node!r}'s "
@@ -126,8 +175,13 @@ class RuleCorruption(FailureSpec):
 
     kind = "rule_corrupt"
 
-    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
-        rule = self._victim(deployment, self.node, self.rule_index)
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
+        rule = self._victim(deployment, self.node, self.rule_index, rng)
         ports = deployment.neighbor_ports(self.node)
         wrong = [p for p in ports if p not in rule.forwarding_set()]
         if not wrong:
@@ -161,7 +215,12 @@ class PrioritySwap(FailureSpec):
 
     kind = "priority_swap"
 
-    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
         switch = deployment.switch(self.node)
         # Only rules still present in the data plane are swappable (an
         # earlier failure may have removed a victim).
@@ -182,7 +241,7 @@ class PrioritySwap(FailureSpec):
             raise FailureSpecError(
                 f"no swappable rule pair on {self.node!r} at t={self.at}"
             )
-        a, b = deployment.rng.choose(pairs)
+        a, b = (rng or deployment.rng).choose(pairs)
         switch.corrupt_rule_in_dataplane(a, b.actions)
         switch.corrupt_rule_in_dataplane(b, a.actions)
         record.nodes = {self.node}
@@ -201,7 +260,12 @@ class LinkFailure(FailureSpec):
 
     kind = "link_down"
 
-    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
         network = deployment.network
         if frozenset((self.u, self.v)) not in network.links:
             raise FailureSpecError(f"no link {self.u!r} <-> {self.v!r}")
@@ -227,7 +291,12 @@ class PortFailure(FailureSpec):
 
     kind = "port_down"
 
-    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
         network = deployment.network
         port = network.port_toward.get(self.node, {}).get(self.toward)
         if port is None:
@@ -263,7 +332,12 @@ class FlowModBlackhole(FailureSpec):
 
     kind = "flowmod_blackhole"
 
-    def inject(self, deployment: FleetDeployment, record: Injection) -> None:
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
         ports = deployment.neighbor_ports(self.node)
         if not ports:
             raise FailureSpecError(f"{self.node!r} has no switch-facing port")
@@ -292,12 +366,127 @@ class FlowModBlackhole(FailureSpec):
         )
 
 
+@dataclass(frozen=True)
+class ChannelDegradation(FailureSpec):
+    """Degrade one switch's control channel (chaos, not a fault).
+
+    Overlays seed-deterministic loss/delay/jitter/duplication/reorder
+    on the node's control channel for ``duration`` seconds (forever
+    when ``None``).  Probe sends, probe observations, and FlowMods all
+    traverse that channel, so every control interaction of the switch
+    is exposed.  Being chaos, the injection never *explains* an alarm:
+    a ``missing`` alarm caused by a lost probe is a false alarm the
+    monitor's hysteresis must suppress.
+    """
+
+    node: Hashable = None
+    duration: float | None = None
+    loss: float = 0.0
+    delay: float = 0.0
+    jitter: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_window: float = 0.0
+    direction: str = "both"
+
+    kind = "channel_degradation"
+    chaos = True
+
+    def conditions(self) -> ChannelConditions:
+        return ChannelConditions(
+            loss=self.loss,
+            delay=self.delay,
+            jitter=self.jitter,
+            duplicate=self.duplicate,
+            reorder=self.reorder,
+            reorder_window=self.reorder_window,
+        )
+
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
+        if self.node not in deployment.network.channels:
+            raise FailureSpecError(
+                f"no control channel for {self.node!r}"
+            )
+        conditions = self.conditions()
+        if not conditions.active:
+            raise FailureSpecError(
+                f"degradation of {self.node!r} perturbs nothing "
+                "(all knobs zero)"
+            )
+        conditioner = deployment.network.conditioner(self.node)
+        token = conditioner.apply(conditions, self.direction)
+        if self.duration is not None:
+            deployment.sim.schedule(
+                self.duration, lambda: conditioner.remove(token)
+            )
+        record.nodes = {self.node}
+        record.chaos = True
+        window = (
+            f"for {self.duration}s"
+            if self.duration is not None
+            else "permanently"
+        )
+        record.description = (
+            f"degrade channel of {self.node!r} ({self.direction}) "
+            f"{window}: {conditions}"
+        )
+
+
+@dataclass(frozen=True)
+class ControlPlaneFlap(FailureSpec):
+    """The control channel goes completely dark for ``duration`` secs.
+
+    Implemented as a 100%-loss overlay in both directions: probes,
+    probe observations and FlowMods all vanish while the flap lasts,
+    then the channel heals.  The monitor must ride it out without
+    false alarms (quarantine / suppression) — another chaos injection
+    that explains nothing.
+    """
+
+    node: Hashable = None
+    duration: float = 0.1
+
+    kind = "control_flap"
+    chaos = True
+
+    def inject(
+        self,
+        deployment: FleetDeployment,
+        record: Injection,
+        rng: DeterministicRandom | None = None,
+    ) -> None:
+        if self.node not in deployment.network.channels:
+            raise FailureSpecError(
+                f"no control channel for {self.node!r}"
+            )
+        if self.duration <= 0.0:
+            raise FailureSpecError(
+                f"flap of {self.node!r} needs a positive duration"
+            )
+        conditioner = deployment.network.conditioner(self.node)
+        token = conditioner.apply(ChannelConditions(loss=1.0), "both")
+        deployment.sim.schedule(
+            self.duration, lambda: conditioner.remove(token)
+        )
+        record.nodes = {self.node}
+        record.chaos = True
+        record.description = (
+            f"control channel of {self.node!r} dark for {self.duration}s"
+        )
+
+
 def inject_now(
     deployment: FleetDeployment,
     spec: FailureSpec,
     record: Injection,
     *,
     time: float | None = None,
+    rng: DeterministicRandom | None = None,
 ) -> None:
     """Apply ``spec`` to the deployment at the current sim time.
 
@@ -311,7 +500,7 @@ def inject_now(
     """
     record.time = deployment.sim.now if time is None else time
     try:
-        spec.inject(deployment, record)
+        spec.inject(deployment, record, rng)
     except FailureSpecError as exc:
         record.error = str(exc)
         record.nodes = set()
@@ -327,6 +516,7 @@ def inject_now(
             nodes=sorted(repr(n) for n in record.nodes),
             cookies=sorted(record.cookies),
             broad=record.broad,
+            chaos=record.chaos,
             description=record.description,
             error=record.error,
         )
@@ -346,13 +536,16 @@ def schedule_failures(
     detected, so the scenario reports it as a failure.
     """
     injections: list[Injection] = []
-    for spec in specs:
-        record = Injection(kind=spec.kind, time=spec.at)
+    for index, spec in enumerate(specs):
+        record = Injection(kind=spec.kind, time=spec.at, chaos=spec.chaos)
         injections.append(record)
         deployment.sim.at(
             spec.at,
-            lambda spec=spec, record=record: inject_now(
-                deployment, spec, record
+            lambda spec=spec, record=record, index=index: inject_now(
+                deployment,
+                spec,
+                record,
+                rng=failure_rng(deployment, index),
             ),
         )
     return injections

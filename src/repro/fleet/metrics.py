@@ -55,6 +55,13 @@ class SwitchMetrics:
     probe_policy: str = "round_robin"
     cycle_rebuilds: int = 0
     scheduler_promotions: int = 0
+    #: Alarm hysteresis: ``missing`` alarms swallowed by the suspicion
+    #: state machine (below the strike threshold, or quarantined), how
+    #: many times the switch entered quarantine, and whether it was
+    #: still quarantined when the scenario ended.
+    alarms_suppressed: int = 0
+    quarantines: int = 0
+    quarantined: bool = False
 
     def probe_rate(self, duration: float) -> float:
         """Achieved probes/s over the scenario."""
@@ -116,6 +123,13 @@ class FleetMetrics:
     gossip_digests_published: int = 0
     gossip_entries_shipped: int = 0
     gossip_entries_imported: int = 0
+    #: Self-healing shard runtime: worker re-spawns the coordinator
+    #: performed, shards abandoned after the restart budget ran out,
+    #: and one status string per shard (``"ok"``, ``"restarted(n)"``,
+    #: ``"failed"``) in shard order.
+    worker_restarts: int = 0
+    shards_failed: int = 0
+    shard_status: list[str] = field(default_factory=list)
     #: Stable (time, node, kind, match) tuples for determinism checks.
     alarm_timeline: list[tuple[float, str, str, str]] = field(
         default_factory=list
@@ -172,8 +186,39 @@ class FleetMetrics:
 
     @property
     def all_detected(self) -> bool:
-        """Every injected failure produced an attributable alarm."""
-        return all(d.detected for d in self.detections)
+        """Every injected *fault* produced an attributable alarm.
+
+        Chaos injections (channel degradation, control-plane flaps)
+        perturb the substrate, not the data plane — there is nothing to
+        detect, so they are excluded from coverage.
+        """
+        return all(
+            d.detected for d in self.detections if not d.injection.chaos
+        )
+
+    @property
+    def alarms_total(self) -> int:
+        """Alarms raised across the fleet (true + false)."""
+        return sum(m.alarms for m in self.per_switch)
+
+    @property
+    def true_alarms(self) -> int:
+        """Raised alarms some injection explains."""
+        return self.alarms_total - len(self.false_alarms)
+
+    @property
+    def alarms_suppressed(self) -> int:
+        """``missing`` alarms swallowed by hysteresis across the fleet."""
+        return sum(m.alarms_suppressed for m in self.per_switch)
+
+    @property
+    def quarantines(self) -> int:
+        return sum(m.quarantines for m in self.per_switch)
+
+    @property
+    def switches_quarantined(self) -> int:
+        """Switches still quarantined when the scenario ended."""
+        return sum(1 for m in self.per_switch if m.quarantined)
 
     @property
     def detection_latencies(self) -> list[float]:
@@ -210,6 +255,7 @@ class FleetMetrics:
                     "nodes": sorted(repr(n) for n in injection.nodes),
                     "cookies": sorted(injection.cookies),
                     "broad": injection.broad,
+                    "chaos": injection.chaos,
                     "description": injection.description,
                     "error": injection.error,
                     "detected": d.detected,
@@ -271,6 +317,15 @@ class FleetMetrics:
                 "gossip_digests_published": self.gossip_digests_published,
                 "gossip_entries_shipped": self.gossip_entries_shipped,
                 "gossip_entries_imported": self.gossip_entries_imported,
+                "alarms_total": self.alarms_total,
+                "true_alarms": self.true_alarms,
+                "false_alarms": len(self.false_alarms),
+                "alarms_suppressed": self.alarms_suppressed,
+                "quarantines": self.quarantines,
+                "switches_quarantined": self.switches_quarantined,
+                "worker_restarts": self.worker_restarts,
+                "shards_failed": self.shards_failed,
+                "shard_status": list(self.shard_status),
                 "all_detected": self.all_detected,
                 "detection_latencies": self.detection_latencies,
             },
@@ -316,6 +371,9 @@ def collect_fleet_metrics(
                 scheduler_promotions=(
                     monitor.scheduler.stats.scheduler_promotions
                 ),
+                alarms_suppressed=monitor.alarms_suppressed,
+                quarantines=monitor.quarantines,
+                quarantined=monitor.quarantined,
             )
         )
 
@@ -513,6 +571,9 @@ def _crosscheck_registry(
             m.probes_timed_out for m in per_switch
         ),
         "monocle_alarms_total": sum(m.alarms for m in per_switch),
+        "monocle_alarms_suppressed_total": sum(
+            m.alarms_suppressed for m in per_switch
+        ),
         "monocle_probegen_solves_total": sum(
             m.probes_generated for m in per_switch
         ),

@@ -57,6 +57,10 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
                 )
             elif injection.error is not None:
                 status = "INJECTION FAILED"
+            elif injection.chaos:
+                # Substrate chaos has nothing to detect; the monitor's
+                # job is to ride it out without false alarms.
+                status = "CHAOS"
             else:
                 status = "NOT DETECTED"
             rows.append(
@@ -133,9 +137,22 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
             f"median={s.median * 1000:.1f}ms p95={s.p95 * 1000:.1f}ms "
             f"max={s.maximum * 1000:.1f}ms"
         )
-    detected = sum(1 for d in metrics.detections if d.detected)
+    if metrics.alarms_suppressed or metrics.quarantines:
+        lines.append(
+            f"resilience: {metrics.alarms_suppressed} alarms suppressed "
+            f"by hysteresis, {metrics.quarantines} quarantines "
+            f"({metrics.switches_quarantined} switches still quarantined)"
+        )
+    if metrics.worker_restarts or metrics.shards_failed:
+        lines.append(
+            f"self-healing: {metrics.worker_restarts} worker restarts, "
+            f"{metrics.shards_failed} shards failed "
+            f"[{', '.join(metrics.shard_status)}]"
+        )
+    faults = [d for d in metrics.detections if not d.injection.chaos]
+    detected = sum(1 for d in faults if d.detected)
     lines.append(
-        f"detection: {detected}/{len(metrics.detections)} injected failures "
+        f"detection: {detected}/{len(faults)} injected failures "
         f"detected, {len(metrics.false_alarms)} false alarms"
     )
 

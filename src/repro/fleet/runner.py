@@ -21,7 +21,7 @@ import json
 import os
 import time as _time
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import networkx as nx
 
@@ -65,6 +65,9 @@ from repro.topology.generators import (
     star,
     triangle,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.fleet.shardworker import WorkerCrash, WorkerHang
 
 
 class ScenarioError(ValueError):
@@ -143,8 +146,9 @@ class ScenarioSpec:
     trace_capacity: int = 65536
     #: Sharded runtime (:mod:`repro.fleet.coordinator`): split the
     #: fleet across this many worker processes, each with its own sim
-    #: kernel.  ``1`` keeps the in-process path.
-    workers: int = 1
+    #: kernel.  ``1`` keeps the in-process path; ``"auto"`` sizes the
+    #: fleet to this host's usable CPUs (scheduling affinity mask).
+    workers: int | str = 1
     #: Shard planner policy (:data:`repro.fleet.sharding.
     #: SHARD_POLICIES`): ``locality`` keeps neighborhoods together to
     #: minimize cross-shard links; ``round_robin`` ignores links.
@@ -153,6 +157,28 @@ class ScenarioSpec:
     #: whose shard cut crosses topology links; ``None`` derives one
     #: probe timeout.  Irrelevant for pure partitions (barrier-free).
     barrier_quantum: float | None = None
+    #: Alarm hysteresis (:class:`~repro.core.monitor.MonitorConfig`):
+    #: consecutive missing-probe strikes before a steady-state
+    #: ``missing`` alarm fires.  ``1`` keeps the paper baseline
+    #: (alarm on first timeout); ``2``+ rides out lossy control
+    #: channels at the cost of one suspicion re-probe per strike.
+    alarm_confirmations: int = 1
+    #: Distinct suspect rules inside the quarantine window that
+    #: downgrade a switch to best-effort monitoring (``0`` disables
+    #: quarantine entirely — the default).
+    quarantine_threshold: int = 0
+    #: Worker chaos hooks (:class:`~repro.fleet.shardworker.
+    #: WorkerCrash` / :class:`~repro.fleet.shardworker.WorkerHang`)
+    #: exercising the self-healing coordinator; requires a sharded run.
+    chaos: tuple = ()
+    #: Per-shard respawn budget for the self-healing coordinator; a
+    #: shard that dies more often than this is marked failed and the
+    #: scenario completes degraded on the survivors.
+    max_worker_restarts: int = 2
+    #: Wall-clock seconds the coordinator waits for a worker reply
+    #: before treating it as hung; ``None`` uses the coordinator
+    #: default (60s).
+    worker_timeout: float | None = None
 
     # ----- validation -----------------------------------------------------
 
@@ -208,8 +234,50 @@ class ScenarioSpec:
             )
         if self.size < 1:
             raise ScenarioError(f"size must be >= 1: {self.size}")
-        if self.workers < 1:
+        if isinstance(self.workers, str):
+            if self.workers != "auto":
+                raise ScenarioError(
+                    f"workers must be an int >= 1 or 'auto', "
+                    f"not {self.workers!r}"
+                )
+        elif self.workers < 1:
             raise ScenarioError(f"workers must be >= 1: {self.workers}")
+        if self.alarm_confirmations < 1:
+            raise ScenarioError(
+                f"alarm_confirmations must be >= 1: "
+                f"{self.alarm_confirmations}"
+            )
+        if self.quarantine_threshold < 0:
+            raise ScenarioError(
+                f"quarantine_threshold must be >= 0: "
+                f"{self.quarantine_threshold}"
+            )
+        if self.max_worker_restarts < 0:
+            raise ScenarioError(
+                f"max_worker_restarts must be >= 0: "
+                f"{self.max_worker_restarts}"
+            )
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ScenarioError(
+                f"worker_timeout must be positive: {self.worker_timeout}"
+            )
+        if self.chaos:
+            if self.workers == 1:
+                raise ScenarioError(
+                    "chaos hooks target shard workers; they require "
+                    "workers > 1 (or 'auto')"
+                )
+            for hook in self.chaos:
+                kind = getattr(hook, "kind", None)
+                if kind not in ("kill", "hang"):
+                    raise ScenarioError(
+                        f"unknown chaos hook kind {kind!r} "
+                        f"(expected WorkerCrash or WorkerHang)"
+                    )
+                if hook.shard < 0 or hook.window < 0:
+                    raise ScenarioError(
+                        f"chaos hook shard/window must be >= 0: {hook}"
+                    )
         if self.shard_policy not in SHARD_POLICIES:
             raise ScenarioError(
                 f"unknown shard policy {self.shard_policy!r}; "
@@ -219,14 +287,14 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"barrier_quantum must be positive: {self.barrier_quantum}"
             )
-        if self.workers > 1 and self.metrics_out:
+        if self.resolved_workers() > 1 and self.metrics_out:
             raise ScenarioError(
                 "metrics_out is incompatible with workers > 1: the "
                 "Prometheus registry lives per worker process and its "
                 "expositions cannot be merged (use --json-out, whose "
                 "snapshots the coordinator does merge)"
             )
-        if self.workers > 1 and self.max_events is not None:
+        if self.resolved_workers() > 1 and self.max_events is not None:
             raise ScenarioError(
                 "max_events is incompatible with workers > 1: the "
                 "event budget is per shard kernel, so a fleet-wide cap "
@@ -264,12 +332,26 @@ class ScenarioSpec:
         except ValueError as exc:
             raise ScenarioError(str(exc)) from exc
 
+    def resolved_workers(self) -> int:
+        """``workers`` with ``"auto"`` resolved to this host's usable
+        CPU count (the scheduling-affinity mask where available, which
+        respects cgroup/taskset limits; raw ``cpu_count`` otherwise).
+        """
+        if self.workers == "auto":
+            try:
+                return len(os.sched_getaffinity(0))
+            except (AttributeError, OSError):  # pragma: no cover
+                return os.cpu_count() or 1
+        return self.workers
+
     def monitor_config(self) -> MonitorConfig:
         """The MonitorConfig all fleet Monitors share."""
         return MonitorConfig(
             probe_rate=self.probe_rate,
             probe_timeout=self.probe_timeout,
             update_deadline=self.update_deadline,
+            alarm_confirmations=self.alarm_confirmations,
+            quarantine_threshold=self.quarantine_threshold,
         )
 
     @property
@@ -317,6 +399,12 @@ class ScenarioResult:
     #: :meth:`FleetMetrics.to_json` and the report — those stay pure
     #: functions of the spec + seed; benchmarks read this field.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Self-healing summary for sharded runs: total worker respawns
+    #: the coordinator performed (0 for in-process runs).
+    restarts: int = 0
+    #: True when a shard exhausted its restart budget: the result
+    #: covers only the surviving shards — partial, but not an abort.
+    degraded: bool = False
 
     def report(self) -> str:
         """The formatted fleet report."""
@@ -360,12 +448,19 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     kernel.
     """
     spec.validate()
-    if spec.workers > 1:
+    workers = spec.resolved_workers()
+    if workers > 1:
         # Imported lazily: the coordinator imports this module for the
         # spec/result types, so a top-level import would be circular.
         from repro.fleet.coordinator import run_sharded_scenario
 
+        if spec.workers != workers:
+            spec = replace(spec, workers=workers)
         return run_sharded_scenario(spec)
+    if spec.workers != 1:
+        # "auto" resolved to a single CPU: plain in-process run (worker
+        # chaos hooks have no workers to bite).
+        spec = replace(spec, workers=1, chaos=())
     observer = spec.build_observer()
     try:
         deployment = FleetDeployment(
@@ -453,6 +548,41 @@ def _default_failures(
     return tuple(failures)
 
 
+def _workers_arg(text: str) -> int | str:
+    """``--workers``: a positive int or the literal ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+
+
+def _chaos_arg(text: str) -> "WorkerCrash | WorkerHang":
+    """``--chaos kill:SHARD[@WINDOW]`` / ``hang:SHARD[@WINDOW]``."""
+    from repro.fleet.shardworker import WorkerCrash, WorkerHang
+
+    kind, _, rest = text.partition(":")
+    shard_text, _, window_text = rest.partition("@")
+    try:
+        shard = int(shard_text)
+        window = int(window_text) if window_text else 0
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected kill:SHARD[@WINDOW] or hang:SHARD[@WINDOW], "
+            f"got {text!r}"
+        ) from None
+    if kind == "kill":
+        return WorkerCrash(shard=shard, window=window)
+    if kind == "hang":
+        return WorkerHang(shard=shard, window=window)
+    raise argparse.ArgumentTypeError(
+        f"unknown chaos kind {kind!r} (kill or hang)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """``repro-fleet``: run one scenario and print the fleet report.
 
@@ -482,9 +612,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--probe-policy", default="round_robin",
                         choices=sorted(SCHEDULE_POLICIES),
                         help="probe-cycle scheduling policy")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", type=_workers_arg, default=1,
+                        metavar="N|auto",
                         help="shard the fleet across this many worker "
-                             "processes (1 = in-process)")
+                             "processes (1 = in-process, auto = usable "
+                             "CPU count)")
     parser.add_argument("--shard-policy", default=DEFAULT_SHARD_POLICY,
                         choices=sorted(SHARD_POLICIES),
                         help="topology partitioning policy for --workers")
@@ -492,6 +624,28 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SECONDS",
                         help="cross-shard barrier window (default: one "
                              "probe timeout)")
+    parser.add_argument("--alarm-confirmations", type=int, default=1,
+                        metavar="K",
+                        help="missing-probe strikes before a steady "
+                             "alarm fires (hysteresis; 1 = paper "
+                             "baseline)")
+    parser.add_argument("--quarantine-threshold", type=int, default=0,
+                        metavar="N",
+                        help="distinct suspect rules that quarantine a "
+                             "switch to best-effort (0 = disabled)")
+    parser.add_argument("--chaos", type=_chaos_arg, action="append",
+                        default=None, metavar="KIND:SHARD[@WINDOW]",
+                        help="kill or hang a shard worker mid-run "
+                             "(kill:0@1 / hang:2); repeatable, needs "
+                             "--workers > 1")
+    parser.add_argument("--max-worker-restarts", type=int, default=2,
+                        metavar="N",
+                        help="per-shard respawn budget for the "
+                             "self-healing coordinator")
+    parser.add_argument("--worker-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock reply deadline before a shard "
+                             "worker counts as hung (default 60)")
     parser.add_argument("--churn", type=float, default=0.0,
                         help="rule-churn FlowMods/s across the fleet")
     parser.add_argument("--traffic", type=int, default=0,
@@ -538,6 +692,11 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         shard_policy=args.shard_policy,
         barrier_quantum=args.barrier_quantum,
+        alarm_confirmations=args.alarm_confirmations,
+        quarantine_threshold=args.quarantine_threshold,
+        chaos=tuple(args.chaos or ()),
+        max_worker_restarts=args.max_worker_restarts,
+        worker_timeout=args.worker_timeout,
         trace_out=args.trace_out,
         trace_chrome=args.trace_chrome,
         metrics_out=args.metrics_out,
@@ -565,7 +724,7 @@ def main(argv: list[str] | None = None) -> int:
     reserved = (
         f"{result.deployment.plan.num_reserved_values} reserved values"
         if result.deployment is not None
-        else f"{spec.workers} shard workers"
+        else f"{result.spec.workers} shard workers"
     )
     print(
         f"fleet scenario: {spec.topology}-{spec.size} x {spec.profile}, "
@@ -584,7 +743,11 @@ def main(argv: list[str] | None = None) -> int:
         result.exported.append(f"{args.json_out} (fleet metrics JSON)")
     for line in result.exported:
         print(f"wrote {line}")
-    if not result.metrics.all_detected or result.metrics.false_alarms:
+    if (
+        result.degraded
+        or not result.metrics.all_detected
+        or result.metrics.false_alarms
+    ):
         return 1
     return 0
 

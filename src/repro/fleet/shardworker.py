@@ -21,6 +21,8 @@ What *does* cross (via :mod:`repro.fleet.coordinator`'s pipes):
 
 from __future__ import annotations
 
+import os
+import time as _time
 import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable
@@ -28,7 +30,12 @@ from typing import TYPE_CHECKING, Any, Hashable
 from repro.core.probegen import ProbeGenContext
 from repro.core.shared import _rule_sig, generator_key
 from repro.fleet.deployment import FleetDeployment
-from repro.fleet.failures import FailureSpec, Injection, inject_now
+from repro.fleet.failures import (
+    FailureSpec,
+    Injection,
+    failure_rng,
+    inject_now,
+)
 from repro.fleet.metrics import FleetMetrics, collect_fleet_metrics
 from repro.fleet.sharding import Digest, GossipPayload, ShardPlan, spec_nodes
 from repro.fleet.workloads import RuleChurn, SteadyRules, Workload
@@ -37,6 +44,60 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from multiprocessing.connection import Connection
 
     from repro.fleet.runner import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Chaos hook: kill one shard's worker process mid-scenario.
+
+    Fires just before the worker executes its ``window``-th ``run``
+    command (0-indexed), exiting the process without ceremony — the
+    coordinator sees a pipe EOF, exactly like a real crash.  By
+    default only ``incarnation`` 0 (the original process) dies, so the
+    respawned replacement replays cleanly; ``incarnation=None`` kills
+    every incarnation, which exhausts the restart budget and exercises
+    the degraded-result path.
+    """
+
+    shard: int
+    window: int = 0
+    incarnation: int | None = 0
+
+    kind = "kill"
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """Chaos hook: wedge one shard's worker instead of killing it.
+
+    Sleeps ``sleep`` wall-clock seconds before the ``window``-th run
+    command, so the coordinator's reply deadline expires and the
+    missed-heartbeat path (terminate + respawn) runs instead of the
+    pipe-EOF path.
+    """
+
+    shard: int
+    window: int = 0
+    incarnation: int | None = 0
+    sleep: float = 3600.0
+
+    kind = "hang"
+
+
+def _maybe_chaos(
+    hooks: "list[WorkerCrash | WorkerHang]", window: int, incarnation: int
+) -> None:
+    for hook in hooks:
+        if hook.window != window:
+            continue
+        if hook.incarnation is not None and hook.incarnation != incarnation:
+            continue
+        if hook.kind == "kill":
+            # A real crash, not an exception: no "error" message, no
+            # atexit, just a dead pipe for the coordinator to find.
+            os._exit(13)
+        else:
+            _time.sleep(hook.sleep)
 
 
 @dataclass
@@ -115,7 +176,9 @@ class ShardWorker:
             owners = {self.plan.owner(node) for node in nodes}
             if self.shard not in owners:
                 continue
-            record = Injection(kind=fspec.kind, time=fspec.at)
+            record = Injection(
+                kind=fspec.kind, time=fspec.at, chaos=fspec.chaos
+            )
             self.injections[index] = record
             if len(owners) == 1 or _announcer(self.plan, nodes) == self.shard:
                 announce = len(owners) > 1
@@ -138,7 +201,12 @@ class ShardWorker:
         index: int,
         announce: bool,
     ) -> None:
-        inject_now(self.deployment, fspec, record)
+        inject_now(
+            self.deployment,
+            fspec,
+            record,
+            rng=failure_rng(self.deployment, index),
+        )
         if announce:
             self.outbox.append((record.time, index))
 
@@ -230,7 +298,11 @@ class ShardWorker:
             if fspec is None:
                 continue
             inject_now(
-                self.deployment, fspec, self.injections[index], time=time
+                self.deployment,
+                fspec,
+                self.injections[index],
+                time=time,
+                rng=failure_rng(self.deployment, index),
             )
         self.apply_imports(deliveries.get("imports", {}))
         exports = self.fulfill_exports(
@@ -278,7 +350,11 @@ class ShardWorker:
 
 
 def worker_main(
-    conn: "Connection", spec: "ScenarioSpec", plan: ShardPlan, shard: int
+    conn: "Connection",
+    spec: "ScenarioSpec",
+    plan: ShardPlan,
+    shard: int,
+    incarnation: int = 0,
 ) -> None:
     """Process entry point: build, handshake, serve barrier windows.
 
@@ -288,14 +364,26 @@ def worker_main(
     * <- ``("run", until, deliveries)`` / -> ``("window", payload)``;
     * <- ``("finish",)`` / -> ``("result", ShardResult)``;
     * -> ``("error", traceback)`` on any exception, then exit.
+
+    ``incarnation`` counts respawns: the coordinator passes 0 for the
+    original process and N for the Nth replacement, so chaos hooks can
+    target (or spare) replays deterministically.
     """
     try:
+        chaos = [
+            hook
+            for hook in getattr(spec, "chaos", ())
+            if hook.shard == shard
+        ]
         worker = ShardWorker(spec, plan, shard)
         conn.send(("ready",))
+        windows = 0
         while True:
             command = conn.recv()
             if command[0] == "run":
                 _, until, deliveries = command
+                _maybe_chaos(chaos, windows, incarnation)
+                windows += 1
                 conn.send(("window", worker.run_window(until, deliveries)))
             elif command[0] == "finish":
                 conn.send(("result", worker.result()))

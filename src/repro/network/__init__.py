@@ -9,15 +9,24 @@
   :mod:`networkx` topology: switches, links, port maps, hosts.
 * :mod:`repro.network.traffic` — constant-rate flow generators used by
   the consistent-update experiments.
+* :mod:`repro.network.conditioning` — seed-deterministic channel
+  degradation (loss/delay/jitter/duplication/reorder) for chaos
+  scenarios.
 """
 
 from repro.network.channel import ControlChannel
+from repro.network.conditioning import (
+    ChannelConditioner,
+    ChannelConditions,
+)
 from repro.network.host import Host
 from repro.network.link import Link
 from repro.network.network import Network
 from repro.network.traffic import FlowSpec, TrafficGenerator
 
 __all__ = [
+    "ChannelConditioner",
+    "ChannelConditions",
     "ControlChannel",
     "Host",
     "Link",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.network.conditioning import ChannelConditioner
 from repro.openflow.messages import Message
 from repro.sim.kernel import Simulator
 
@@ -21,6 +22,12 @@ DEFAULT_CONTROL_LATENCY = 0.001
 class ControlChannel:
     """A bidirectional, ordered message pipe with latency.
 
+    An optional :class:`~repro.network.conditioning.ChannelConditioner`
+    perturbs delivery (loss/delay/jitter/duplication/reorder) with
+    seed-deterministic draws.  While the conditioner is idle the send
+    path is byte-identical to an unconditioned channel — no draws, no
+    extra scheduling.
+
     Attributes:
         down_handler: receives messages travelling controller -> switch.
         up_handler: receives messages travelling switch -> controller.
@@ -30,9 +37,11 @@ class ControlChannel:
         self,
         sim: Simulator,
         latency: float = DEFAULT_CONTROL_LATENCY,
+        conditioner: ChannelConditioner | None = None,
     ) -> None:
         self.sim = sim
         self.latency = latency
+        self.conditioner = conditioner
         self.down_handler: Callable[[Message], None] | None = None
         self.up_handler: Callable[[Message], None] | None = None
         self.messages_down = 0
@@ -43,11 +52,26 @@ class ControlChannel:
         self.messages_down += 1
         handler = self.down_handler
         if handler is not None:
-            self.sim.schedule(self.latency, lambda: handler(msg))
+            self._deliver(msg, handler, "down")
 
     def send_up(self, msg: Message) -> None:
         """Send toward the controller."""
         self.messages_up += 1
         handler = self.up_handler
         if handler is not None:
+            self._deliver(msg, handler, "up")
+
+    def _deliver(
+        self,
+        msg: Message,
+        handler: Callable[[Message], None],
+        direction: str,
+    ) -> None:
+        conditioner = self.conditioner
+        if conditioner is None or not conditioner.is_active(direction):
             self.sim.schedule(self.latency, lambda: handler(msg))
+            return
+        for extra in conditioner.plan(direction):
+            self.sim.schedule(
+                self.latency + extra, lambda: handler(msg)
+            )

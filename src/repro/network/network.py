@@ -12,6 +12,7 @@ from typing import Callable, Hashable, Mapping
 import networkx as nx
 
 from repro.network.channel import ControlChannel
+from repro.network.conditioning import ChannelConditioner
 from repro.network.host import Host
 from repro.network.link import Link
 from repro.sim.kernel import Simulator
@@ -85,7 +86,18 @@ class Network:
             self.port_toward[node] = {}
             self.neighbor_on_port[node] = {}
             self._next_port[node] = 1
-            channel = ControlChannel(sim, latency=control_latency)
+            # Every channel owns a conditioner with a stream forked by
+            # switch number: chaos draws are independent per switch and
+            # per direction, and (because an idle conditioner draws
+            # nothing) cost nothing until a degradation overlay lands.
+            conditioner = ChannelConditioner(
+                self.rng.fork(0xC0FD00 + self._switch_numbers[node])
+            )
+            channel = ControlChannel(
+                sim,
+                latency=control_latency,
+                conditioner=conditioner,
+            )
             channel.down_handler = self.switches[node].receive_message
             self.switches[node].send_to_controller = channel.send_up
             self.channels[node] = channel
@@ -157,6 +169,13 @@ class Network:
     def channel(self, node: Hashable) -> ControlChannel:
         """The control channel of a node's switch."""
         return self.channels[node]
+
+    def conditioner(self, node: Hashable) -> ChannelConditioner:
+        """The chaos conditioner on a node's control channel."""
+        conditioner = self.channels[node].conditioner
+        if conditioner is None:  # pragma: no cover - Network always wires one
+            raise ValueError(f"channel of {node!r} has no conditioner")
+        return conditioner
 
     def link_between(self, u: Hashable, v: Hashable) -> Link:
         """The link connecting two adjacent switches."""
