@@ -18,6 +18,11 @@ policy takes to raise the alarm:
 * **weighted** — churn/update boosts via stride scheduling, an
   intermediate point.
 
+A fourth arm re-runs round_robin with a 4-deep probe window (PR 10's
+pipelining): instead of dodging the cycle like churn_first, it makes
+the whole cycle ~4x faster, and is gated to beat the W=1 baseline the
+same way.
+
 Writes ``BENCH_fig4.json`` and **fails** unless churn_first's median
 detection latency is strictly below round_robin's — closing the
 "fig4 reports prose-only" ROADMAP item with a machine-readable gate.
@@ -56,13 +61,27 @@ REPS = 7
 #: Healthy background updates sent alongside every blackholed one.
 BACKGROUND_MODS = 3
 
-POLICIES = ("round_robin", "churn_first", "weighted")
+#: (policy, probe_window) arms.  The W=4 round-robin arm is the
+#: pipelining axis (PR 10): the cycle itself speeds up ~W, attacking
+#: the same ~uniform(0, cycle) term that churn_first sidesteps.
+ARMS = (
+    ("round_robin", 1),
+    ("churn_first", 1),
+    ("weighted", 1),
+    ("round_robin", 4),
+)
+
+
+def _arm_label(policy: str, window: int) -> str:
+    return policy if window == 1 else f"{policy}@W{window}"
 
 
 class DetectionRig:
     """One monitored star hub under churn, with blackholed updates."""
 
-    def __init__(self, policy: str, seed: int, num_rules: int) -> None:
+    def __init__(
+        self, policy: str, seed: int, num_rules: int, window: int = 1
+    ) -> None:
         self.num_rules = num_rules
         self.sim = Simulator()
         self.net = Network(self.sim, star(4), seed=seed)
@@ -72,6 +91,7 @@ class DetectionRig:
                 probe_rate=PROBE_RATE,
                 probe_timeout=TIMEOUT,
                 update_deadline=UPDATE_DEADLINE,
+                probe_window=window,
             ),
             dynamic=True,
             probe_policy=policy,
@@ -158,10 +178,11 @@ def test_fig4_detection_latency_by_policy(scale, seed):
 
     results: dict[str, list[float]] = {}
     promotions: dict[str, int] = {}
-    for policy in POLICIES:
-        rig = DetectionRig(policy, seed, num_rules)
-        results[policy] = [rig.run_rep() for _ in range(REPS)]
-        promotions[policy] = (
+    for policy, window in ARMS:
+        label = _arm_label(policy, window)
+        rig = DetectionRig(policy, seed, num_rules, window=window)
+        results[label] = [rig.run_rep() for _ in range(REPS)]
+        promotions[label] = (
             rig.monitor.scheduler.stats.scheduler_promotions
         )
         # The delta-maintenance invariant holds through real churn.
@@ -174,19 +195,21 @@ def test_fig4_detection_latency_by_policy(scale, seed):
     )
     rows = []
     table_rows = []
-    for policy in POLICIES:
-        latencies = results[policy]
+    for policy, window in ARMS:
+        label = _arm_label(policy, window)
+        latencies = results[label]
         row = {
             "policy": policy,
+            "window": window,
             "median_s": round(statistics.median(latencies), 4),
             "min_s": round(min(latencies), 4),
             "max_s": round(max(latencies), 4),
-            "scheduler_promotions": promotions[policy],
+            "scheduler_promotions": promotions[label],
         }
         rows.append(row)
         table_rows.append(
             [
-                policy,
+                label,
                 f"{row['median_s']:.3f}",
                 f"{row['min_s']:.3f}",
                 f"{row['max_s']:.3f}",
@@ -219,7 +242,10 @@ def test_fig4_detection_latency_by_policy(scale, seed):
     )
     print(f"artifact: {path}")
 
-    medians = {row["policy"]: row["median_s"] for row in rows}
+    medians = {
+        _arm_label(row["policy"], row["window"]): row["median_s"]
+        for row in rows
+    }
     # CI gate: the churn-first policy must strictly beat the paper-
     # baseline round-robin cycle on median detection latency.
     assert medians["churn_first"] < medians["round_robin"], (
@@ -228,3 +254,9 @@ def test_fig4_detection_latency_by_policy(scale, seed):
     )
     # The promotion machinery actually fired (not a no-op win).
     assert promotions["churn_first"] > 0
+    # Pipelining gate: a 4-deep probe window must beat the W=1
+    # round-robin cycle the same way (it shrinks the cycle itself).
+    assert medians["round_robin@W4"] < medians["round_robin"], (
+        f"round_robin@W4 median {medians['round_robin@W4']:.3f}s not "
+        f"below round_robin median {medians['round_robin']:.3f}s"
+    )

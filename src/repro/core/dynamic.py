@@ -83,6 +83,9 @@ class DynamicMonitor:
         drop_postpone_port: int | None = None,
     ) -> None:
         self.monitor = monitor
+        # Updates are confirmed with transient tolerance here, so the
+        # static-deployment promotion-grace barrier must not engage.
+        monitor.dynamic_guarded = True
         self.sim = monitor.sim
         self.obs = monitor.obs
         if self.obs.enabled:

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
+from repro.core.catching import ReservedValuePool
 from repro.core.probegen import (
     ProbeGenContext,
     ProbeGenerator,
@@ -33,7 +34,14 @@ from repro.core.schedule import ProbeScheduler
 from repro.obs import NULL_OBSERVER
 from repro.openflow.actions import CONTROLLER_PORT
 from repro.openflow.fields import FieldName
-from repro.openflow.messages import FlowMod, Message, PacketIn
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    FlowMod,
+    Message,
+    PacketIn,
+    next_xid,
+)
 from repro.openflow.rule import Rule, RuleOutcome
 from repro.openflow.table import FlowTable
 from repro.packets.craft import wire_visible_items
@@ -82,6 +90,25 @@ class MonitorConfig:
     quarantine_threshold: int = 0
     quarantine_window: float = 0.5
     quarantine_exit: float = 1.0
+    #: Steady-state probe pipelining: keep up to this many concurrent
+    #: probes in flight per switch, each carrying a distinct reserved
+    #: header value from the catching plan's slot pool.  Detection
+    #: latency on an N-rule table drops from ~N/probe_rate toward
+    #: ~N/(probe_window * probe_rate).  1 (the default) reproduces the
+    #: paper's one-in-flight cycle byte-for-byte; the effective window
+    #: is clamped to the reserved-value pool size (see
+    #: ``Monitor.window_clamp``) when the catch field is too narrow.
+    probe_window: int = 1
+    #: Hold ``churn_first``/``weighted`` promotions of a FlowMod's
+    #: rules until the switch confirms (via a Monitor-issued barrier)
+    #: that it has applied the FlowMod.  Without this, a *static*
+    #: deployment can promote-and-probe inside the switch's
+    #: application window and alarm on the old state; dynamic mode is
+    #: already safe (updates are probed with transient tolerance) and
+    #: ignores the knob.  Off by default: byte-identical to the paper
+    #: path, and only as trustworthy as the switch's barrier semantics
+    #: (a premature-ack switch shrinks the grace, never corrupts it).
+    promotion_grace: bool = False
 
 
 @dataclass
@@ -145,6 +172,12 @@ class OutstandingProbe:
     #: Trace span id tying this probe's lifecycle events together
     #: (0 when observability is disabled).
     span: int = 0
+    #: Reserved header value allocated from the window pool (None when
+    #: the window is 1 or the pool overflowed — the canonical header
+    #: value is used as-is then); released when the probe retires.
+    reserved_value: int | None = None
+    #: Launched by the steady cycle's window (counts toward depth).
+    steady: bool = False
 
 
 class Monitor:
@@ -173,6 +206,7 @@ class Monitor:
         probe_context=None,
         scheduler: ProbeScheduler | None = None,
         obs=None,
+        value_pool: ReservedValuePool | None = None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -183,6 +217,31 @@ class Monitor:
         self.forward_down = forward_down
         self.forward_up = forward_up
         self.inject_probe = inject_probe
+
+        #: Probe window: how many steady probes may be in flight at
+        #: once.  The requested depth is clamped to the reserved-value
+        #: pool (one distinct wire value per in-flight probe); without
+        #: a pool only the classic single-probe window is available.
+        self.value_pool = value_pool
+        requested = max(1, self.config.probe_window)
+        available = value_pool.size if value_pool is not None else 1
+        self.window = min(requested, available)
+        #: Window slots requested but not backed by a reserved value
+        #: (metrics-visible degradation of a too-narrow catch field).
+        self.window_clamp = requested - self.window
+        self.window_peak = 0
+        self.reserved_overflows = 0
+        self._steady_depth = 0
+        #: rule key -> number of outstanding (not done) probes, the
+        #: O(1) busy check behind the scheduler's window drain.
+        self._inflight_keys: dict[tuple, int] = {}
+        #: Promotion grace (static deployments): barrier xid -> rule
+        #: keys whose churn promotion is held until the BarrierReply.
+        self._grace_pending: dict[int, list[tuple]] = {}
+        self.promotions_held = 0
+        #: Set by DynamicMonitor: updates are confirmed with transient
+        #: tolerance there, so promotion grace must not double-guard.
+        self.dynamic_guarded = False
 
         #: The incremental probe-generation engine: persistent SAT
         #: context, per-rule probe cache with intersection-precise
@@ -258,7 +317,7 @@ class Monitor:
         self.probe_context.add_rule(rule)
         self.scheduler.add(rule)
 
-    def observe_flowmod(self, mod: FlowMod) -> None:
+    def observe_flowmod(self, mod: FlowMod) -> list[tuple]:
         """Track a FlowMod the controller sent (steady-state tracking).
 
         Dynamic-mode interception (queueing + acks) is layered on top by
@@ -267,9 +326,20 @@ class Monitor:
         cached probes whose rule intersects the rules actually touched;
         the same affected-rule delta maintains the probe cycle — no
         full-table rebuild, ever.
+
+        Returns the rule keys whose scheduler promotion is being held
+        for promotion grace (empty on the default path): the proxy
+        sends a barrier *behind* the FlowMod and touches the keys only
+        when the switch's BarrierReply proves the mod was applied.
         """
         affected = self.probe_context.apply_flowmod(mod)
-        self.scheduler.observe_flowmod(mod, affected)
+        defer = (
+            self.config.promotion_grace
+            and not self.dynamic_guarded
+            and not mod.command.is_delete
+            and self.forward_down is not None
+        )
+        self.scheduler.observe_flowmod(mod, affected, touch=not defer)
         if self.obs.enabled:
             self.obs.emit(
                 "flowmod.observed",
@@ -280,15 +350,54 @@ class Monitor:
                 match=mod.match,
                 affected=len(affected),
             )
+        if not defer:
+            return []
+        return [rule.key() for rule in affected]
 
     # ----- proxy data path ---------------------------------------------------
 
     def from_controller(self, msg: Message) -> None:
         """Controller -> switch passthrough with FlowMod tracking."""
+        grace_keys: list[tuple] = []
         if isinstance(msg, FlowMod):
-            self.observe_flowmod(msg)
+            grace_keys = self.observe_flowmod(msg)
         if self.forward_down is not None:
             self.forward_down(msg)
+        if grace_keys:
+            # The barrier rides *behind* the FlowMod on the control
+            # channel, so its reply bounds the mod's application time.
+            self._send_grace_barrier(grace_keys)
+
+    def _send_grace_barrier(self, keys: list[tuple]) -> None:
+        assert self.forward_down is not None
+        xid = next_xid()
+        self._grace_pending[xid] = keys
+        self.promotions_held += 1
+        if self.obs.enabled:
+            self.obs.emit(
+                "promotion.held",
+                node=self.node,
+                xid=xid,
+                keys=len(keys),
+            )
+        self.forward_down(BarrierRequest(xid=xid))
+
+    def _grace_barrier_done(self, xid: int) -> bool:
+        """Consume a BarrierReply for a Monitor-issued grace barrier."""
+        keys = self._grace_pending.pop(xid, None)
+        if keys is None:
+            return False
+        for key in keys:
+            # touch() ignores keys that left the cycle in the interim.
+            self.scheduler.touch(key, "churn")
+        if self.obs.enabled:
+            self.obs.emit(
+                "promotion.released",
+                node=self.node,
+                xid=xid,
+                keys=len(keys),
+            )
+        return True
 
     def from_switch(self, msg: Message) -> None:
         """Switch -> controller passthrough; consumes our own probes."""
@@ -299,6 +408,11 @@ class Monitor:
                     self.handle_caught_probe(msg, metadata)
                 # Probes (ours or other monitors') never reach the
                 # controller; the multiplexer routes cross-switch ones.
+                return
+        if isinstance(msg, BarrierReply) and self._grace_pending:
+            # Replies to *our* grace barriers stop here; the
+            # controller's own barriers (different xids) pass through.
+            if self._grace_barrier_done(msg.xid):
                 return
         if self.forward_up is not None:
             self.forward_up(msg)
@@ -363,18 +477,59 @@ class Monitor:
         if not self._steady_running:
             return
         self.sim.schedule(1.0 / self.config.probe_rate, self._steady_tick)
+        if self.window <= 1:
+            # The paper's one-in-flight cycle: one selection per tick.
+            obs = self.obs
+            promoted_before = (
+                self.scheduler.stats.scheduler_promotions
+                if obs.enabled
+                else 0
+            )
+            rule = self.scheduler.next_rule(
+                self.expected, busy=self._in_flight
+            )
+            if rule is None:
+                return
+            promoted = (
+                obs.enabled
+                and self.scheduler.stats.scheduler_promotions
+                > promoted_before
+            )
+            self._serve_steady_rule(rule, promoted)
+            return
+        # Pipelined mode: each tick tops the window back up, so the
+        # sustained injection rate approaches window * probe_rate while
+        # probe_rate still paces (and batches) the injections.
+        capacity = self.window - self._steady_depth
+        if capacity <= 0:
+            return
+        promoted_keys: set[tuple] = set()
+        rules = self.scheduler.next_rules(
+            self.expected,
+            busy=self._in_flight,
+            limit=capacity,
+            promoted_out=promoted_keys,
+        )
+        for rule in rules:
+            self._serve_steady_rule(rule, rule.key() in promoted_keys)
+        if self.obs.enabled and rules:
+            self.obs.emit(
+                "window.depth",
+                node=self.node,
+                depth=self._steady_depth,
+                launched=len(rules),
+                window=self.window,
+            )
+
+    def _serve_steady_rule(self, rule: Rule, promoted: bool) -> None:
+        """Generate and launch one steady-cycle probe (trace included)."""
         obs = self.obs
         tracing = obs.enabled
-        if tracing:
-            promoted_before = self.scheduler.stats.scheduler_promotions
-        rule = self.scheduler.next_rule(self.expected, busy=self._in_flight)
-        if rule is None:
-            return
         span = 0
         if tracing:
             span = obs.next_span()
             wait = self.scheduler.take_wait(rule.key())
-            if self.scheduler.stats.scheduler_promotions > promoted_before:
+            if promoted:
                 obs.emit(
                     "scheduler.promoted",
                     node=self.node,
@@ -421,14 +576,12 @@ class Monitor:
             on_confirm=self._steady_confirm,
             on_alarm=self._steady_alarm,
             span=span,
+            steady=True,
         )
 
     def _in_flight(self, key: tuple) -> bool:
         """Is a probe for this rule key already outstanding?"""
-        return any(
-            probe.result.rule.key() == key and not probe.done
-            for probe in self.outstanding.values()
-        )
+        return self._inflight_keys.get(key, 0) > 0
 
     def _steady_alarm(self, probe: OutstandingProbe, kind: str) -> None:
         if kind == "missing" and self._suppress_missing(probe):
@@ -627,6 +780,7 @@ class Monitor:
         max_retry_interval: float = 0.050,
         tolerate_anti: bool = False,
         span: int = 0,
+        steady: bool = False,
     ) -> OutstandingProbe:
         """Inject a probe and track it to confirmation or timeout.
 
@@ -638,6 +792,10 @@ class Monitor:
                 after every re-injection (capped at
                 ``max_retry_interval``); >1 lets long-pending update
                 probes back off while the switch control queue drains.
+            steady: launched by the steady cycle's window (counts
+                toward the window depth; dynamic/suspicion probes ride
+                along on the same reserved-value pool without
+                occupying a steady slot).
         """
         assert result.ok and result.header is not None
         assert result.outcome_present is not None
@@ -669,8 +827,26 @@ class Monitor:
             confirm_on=confirm_on,
             tolerate_anti=tolerate_anti,
             span=span,
+            steady=steady,
         )
+        if self.value_pool is not None and self.window > 1:
+            # Windowed mode: every in-flight probe carries a distinct
+            # reserved value.  Pool exhaustion (e.g. a burst of dynamic
+            # update probes on top of a full steady window) falls back
+            # to the canonical header value — the nonce still
+            # disambiguates; only wire-level distinctness degrades.
+            value = self.value_pool.allocate()
+            if value is None:
+                self.reserved_overflows += 1
+            else:
+                probe.reserved_value = value
         self.outstanding[nonce] = probe
+        key = result.rule.key()
+        self._inflight_keys[key] = self._inflight_keys.get(key, 0) + 1
+        if steady:
+            self._steady_depth += 1
+            if self._steady_depth > self.window_peak:
+                self.window_peak = self._steady_depth
         self._inject(probe)
         retry_gap = (
             retry_interval
@@ -708,6 +884,14 @@ class Monitor:
         from repro.packets.craft import craft_packet
 
         header = dict(probe.result.header)
+        if probe.reserved_value is not None:
+            assert self.value_pool is not None
+            # Windowed probes rewrite the reserved field from the
+            # canonical (slot-0) value the generator pinned to this
+            # probe's allocated slot; the catch rules cover every slot,
+            # and handle_caught_probe translates the value back before
+            # comparing observations.
+            header[self.value_pool.field] = probe.reserved_value
         packet = craft_packet(header, metadata.encode())
         in_port = header.get(FieldName.IN_PORT, 0)
         self.probes_sent += 1
@@ -760,16 +944,40 @@ class Monitor:
         if etype == "probe.confirmed" and not negative:
             self._h_wire.observe(wire)
 
-    def invalidate_probe(self, probe: OutstandingProbe) -> None:
-        """Cancel an in-flight probe (its table context became stale)."""
-        probe.done = True
-        self.outstanding.pop(probe.nonce, None)
+    def _retire(self, probe: OutstandingProbe) -> None:
+        """Take a probe out of flight.
 
-    def _probe_timeout(self, probe: OutstandingProbe) -> None:
+        The single bookkeeping point shared by confirmation, timeout,
+        invalidation and misbehaving-alarm retirement: marks the probe
+        done, drops it from ``outstanding``, decrements the per-key
+        in-flight count and steady window depth, and releases the
+        probe's reserved value back to the window pool.
+        """
         if probe.done:
             return
         probe.done = True
         self.outstanding.pop(probe.nonce, None)
+        key = probe.result.rule.key()
+        count = self._inflight_keys.get(key, 0)
+        if count <= 1:
+            self._inflight_keys.pop(key, None)
+        else:
+            self._inflight_keys[key] = count - 1
+        if probe.steady:
+            probe.steady = False
+            self._steady_depth -= 1
+        if probe.reserved_value is not None and self.value_pool is not None:
+            self.value_pool.release(probe.reserved_value)
+            probe.reserved_value = None
+
+    def invalidate_probe(self, probe: OutstandingProbe) -> None:
+        """Cancel an in-flight probe (its table context became stale)."""
+        self._retire(probe)
+
+    def _probe_timeout(self, probe: OutstandingProbe) -> None:
+        if probe.done:
+            return
+        self._retire(probe)
         expecting_return = (
             bool(probe.present_obs)
             if probe.confirm_on == "present"
@@ -807,6 +1015,20 @@ class Monitor:
         except ParseError:
             self.stale_probes += 1
             return
+        if probe.reserved_value is not None:
+            # The probe went out with its allocated slot value in the
+            # reserved field; translate it back to the canonical value
+            # the expected/absent observations were computed with.
+            # Sound because OF 1.0 matches are exact-or-wildcard on
+            # this field and production rules avoid reserved values,
+            # so a rewrite that would break the mapping matches both
+            # values identically.
+            assert self.value_pool is not None
+            field = self.value_pool.field
+            if values.get(field) == probe.reserved_value:
+                canonical = dict(probe.result.header or ()).get(field)
+                if canonical is not None:
+                    values[field] = canonical
         observation: Observation = (
             msg.in_port,
             tuple(
@@ -826,8 +1048,7 @@ class Monitor:
             else probe.present_obs
         )
         if observation in target:
-            probe.done = True
-            self.outstanding.pop(probe.nonce, None)
+            self._retire(probe)
             if probe.timeout_event is not None:
                 probe.timeout_event.cancel()
             self.probes_confirmed += 1
@@ -838,8 +1059,7 @@ class Monitor:
         elif observation in anti:
             # Positive evidence of the opposite state.
             if probe.confirm_on == "present" and not probe.tolerate_anti:
-                probe.done = True
-                self.outstanding.pop(probe.nonce, None)
+                self._retire(probe)
                 if probe.timeout_event is not None:
                     probe.timeout_event.cancel()
                 if probe.on_alarm is not None:

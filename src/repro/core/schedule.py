@@ -485,14 +485,20 @@ class ProbeScheduler:
         self.stats.keys_removed += 1
         self.policy.on_remove(key)
 
-    def observe_flowmod(self, mod: FlowMod, affected: Iterable[Rule]) -> None:
+    def observe_flowmod(
+        self, mod: FlowMod, affected: Iterable[Rule], touch: bool = True
+    ) -> None:
         """Apply a FlowMod's cycle delta.
 
         ``affected`` is what the probe context's
         :meth:`~repro.core.probegen.ProbeGenContext.apply_flowmod`
         returned: the rules this switch's table actually gained, lost
         or replaced.  Surviving rules are also *touched* so recency-
-        aware policies can promote them.
+        aware policies can promote them — unless ``touch=False``, the
+        promotion-grace path: the Monitor holds the recency signal
+        until the switch confirms it has applied the FlowMod, then
+        delivers it via :meth:`touch` (membership maintenance is never
+        deferred; only the promotion hint is).
         """
         deleting = mod.command.is_delete
         for rule in affected:
@@ -500,7 +506,8 @@ class ProbeScheduler:
                 self.discard(rule.key())
             else:
                 self.add(rule)
-                self.touch(rule.key(), "churn")
+                if touch:
+                    self.touch(rule.key(), "churn")
 
     # ----- recency signals -------------------------------------------------
 
@@ -537,6 +544,50 @@ class ProbeScheduler:
         if busy is None:
             busy = _never_busy
         return self.policy.select(lambda key: table.get(*key), busy)
+
+    def next_rules(
+        self,
+        table: FlowTable,
+        busy: BusyCheck | None = None,
+        limit: int = 1,
+        promoted_out: "set[RuleKey] | None" = None,
+    ) -> "list[Rule]":
+        """Drain up to ``limit`` distinct serveable rules — one probe
+        window's worth.
+
+        The busy set becomes a window: each selection sees every rule
+        already served this drain as busy, so a window of W concurrent
+        probes never targets the same key twice.  ``limit=1`` performs
+        exactly one :meth:`next_rule` selection, so promotion and
+        stride accounting are byte-identical to the single-probe path.
+
+        Args:
+            promoted_out: when given, receives the keys whose selection
+                was a policy promotion (for per-probe trace
+                attribution).
+        """
+        if busy is None:
+            busy = _never_busy
+        served: list[Rule] = []
+        served_keys: set[RuleKey] = set()
+
+        def drain_busy(key: RuleKey) -> bool:
+            return key in served_keys or busy(key)
+
+        resolve = lambda key: table.get(*key)  # noqa: E731
+        while len(served) < limit:
+            promotions_before = self.stats.scheduler_promotions
+            rule = self.policy.select(resolve, drain_busy)
+            if rule is None:
+                break
+            if (
+                promoted_out is not None
+                and self.stats.scheduler_promotions > promotions_before
+            ):
+                promoted_out.add(rule.key())
+            served.append(rule)
+            served_keys.add(rule.key())
+        return served
 
     def __repr__(self) -> str:
         return (

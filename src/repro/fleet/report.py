@@ -143,6 +143,13 @@ def format_fleet_report(metrics: FleetMetrics) -> str:
             f"by hysteresis, {metrics.quarantines} quarantines "
             f"({metrics.switches_quarantined} switches still quarantined)"
         )
+    if metrics.probe_window > 1 or metrics.window_clamps:
+        lines.append(
+            f"pipelining: window {metrics.probe_window} "
+            f"(clamped by {metrics.window_clamps} slots fleet-wide), "
+            f"peak depth {metrics.window_peak}, "
+            f"{metrics.reserved_overflows} reserved-value overflows"
+        )
     if metrics.worker_restarts or metrics.shards_failed:
         lines.append(
             f"self-healing: {metrics.worker_restarts} worker restarts, "

@@ -116,6 +116,12 @@ class ScenarioSpec:
     rules_per_switch: int = 20
     probe_rate: float = 500.0
     probe_timeout: float = 0.150
+    #: Steady-state probe pipelining: concurrent in-flight probes per
+    #: switch, each on a distinct reserved catch value.  ``1`` keeps
+    #: the paper's one-in-flight cycle byte-for-byte; ``W`` cuts
+    #: cycle-bound detection latency toward 1/W.  Clamped per
+    #: deployment when the catch field can't hold W values per color.
+    probe_window: int = 1
     update_deadline: float = 1.0
     dynamic: bool = True
     strategy: int = 1
@@ -213,6 +219,10 @@ class ScenarioSpec:
         if self.probe_rate <= 0:
             raise ScenarioError(
                 f"probe_rate must be positive: {self.probe_rate}"
+            )
+        if self.probe_window < 1:
+            raise ScenarioError(
+                f"probe_window must be >= 1: {self.probe_window}"
             )
         if self.probe_timeout <= 0 or self.update_deadline <= 0:
             raise ScenarioError("timeouts must be positive")
@@ -349,6 +359,7 @@ class ScenarioSpec:
         return MonitorConfig(
             probe_rate=self.probe_rate,
             probe_timeout=self.probe_timeout,
+            probe_window=self.probe_window,
             update_deadline=self.update_deadline,
             alarm_confirmations=self.alarm_confirmations,
             quarantine_threshold=self.quarantine_threshold,
@@ -604,6 +615,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rules", type=int, default=20,
                         help="production rules per switch")
     parser.add_argument("--probe-rate", type=float, default=500.0)
+    parser.add_argument("--probe-window", type=int, default=1,
+                        metavar="W",
+                        help="concurrent in-flight probes per switch "
+                             "(pipelining; 1 = paper baseline, W cuts "
+                             "cycle-bound detection latency toward "
+                             "1/W)")
     parser.add_argument("--strategy", type=int, default=1, choices=(1, 2))
     parser.add_argument("--algorithm", default="exact",
                         choices=sorted(ALGORITHMS))
@@ -685,6 +702,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=seed,
         rules_per_switch=max(4, int(args.rules * scale)),
         probe_rate=args.probe_rate,
+        probe_window=args.probe_window,
         dynamic=not args.static,
         strategy=args.strategy,
         algorithm=args.algorithm,
@@ -721,11 +739,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
         return 2  # pragma: no cover - parser.error raises SystemExit
 
-    reserved = (
-        f"{result.deployment.plan.num_reserved_values} reserved values"
-        if result.deployment is not None
-        else f"{result.spec.workers} shard workers"
-    )
+    if result.deployment is not None:
+        plan = result.deployment.plan
+        reserved = f"{plan.num_reserved_values} reserved values"
+        if plan.slots > 1:
+            reserved += f" x {plan.slots} window slots"
+    else:
+        reserved = f"{result.spec.workers} shard workers"
     print(
         f"fleet scenario: {spec.topology}-{spec.size} x {spec.profile}, "
         f"{spec.rules_per_switch} rules/switch, strategy {spec.strategy} "

@@ -1,0 +1,407 @@
+"""Tests for probe pipelining (PR 10): reserved-value slot pools,
+windowed steady-state monitoring, clamping, and promotion grace."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catching import (
+    ReservedValuePool,
+    plan_catching_rules,
+)
+from repro.core.monitor import MonitorConfig
+from repro.core.multiplexer import MonocleSystem
+from repro.openflow.actions import output
+from repro.openflow.fields import FieldName
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand, next_xid
+from repro.openflow.rule import Rule
+from repro.network import Network
+from repro.sim.kernel import Simulator
+from repro.switches.profiles import OVS, SwitchProfile
+from repro.topology.generators import star
+
+
+def triangle():
+    return nx.Graph([("a", "b"), ("b", "c"), ("a", "c")])
+
+
+# ----- reserved-value pools ---------------------------------------------
+
+
+class TestReservedValuePool:
+    def pool(self):
+        return ReservedValuePool(
+            FieldName.DL_VLAN, (0xF00, 0xF03, 0xF06)
+        )
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ReservedValuePool(FieldName.DL_VLAN, ())
+
+    def test_allocates_lowest_first(self):
+        pool = self.pool()
+        assert pool.canonical == 0xF00
+        assert pool.allocate() == 0xF00
+        assert pool.allocate() == 0xF03
+        assert pool.allocate() == 0xF06
+
+    def test_exhaustion_counts_not_raises(self):
+        pool = self.pool()
+        for _ in range(3):
+            assert pool.allocate() is not None
+        assert pool.allocate() is None
+        assert pool.allocate() is None
+        assert pool.overflows == 2
+        assert pool.in_use == 3
+
+    def test_release_recycles(self):
+        pool = self.pool()
+        pool.allocate(), pool.allocate()
+        pool.release(0xF00)
+        # Lowest-free preference again after recycling.
+        assert pool.allocate() == 0xF00
+        assert pool.in_use == 2
+
+    def test_release_foreign_value_rejected(self):
+        with pytest.raises(ValueError):
+            self.pool().release(0xABC)
+
+    def test_double_release_rejected(self):
+        pool = self.pool()
+        value = pool.allocate()
+        pool.release(value)
+        with pytest.raises(ValueError):
+            pool.release(value)
+
+
+# ----- slot-aware catching plans ----------------------------------------
+
+
+class TestPlanSlots:
+    def test_slot_values_globally_distinct(self):
+        graph = nx.erdos_renyi_graph(12, 0.3, seed=6)
+        plan = plan_catching_rules(graph, strategy=1, slots=4)
+        assert plan.slots == 4
+        all_values = [
+            v for node in graph.nodes for v in plan.probe_values(node)
+        ]
+        # Distinct (slot, color) pairs map to distinct wire values, so
+        # two in-flight probes can never be mis-attributed — even
+        # across switches.
+        colors = {plan.color_of[n] for n in graph.nodes}
+        assert len(set(all_values)) == 4 * len(colors)
+
+    def test_slot_zero_is_classic_value(self):
+        plan1 = plan_catching_rules(triangle(), strategy=1)
+        plan4 = plan_catching_rules(triangle(), strategy=1, slots=4)
+        for node in ("a", "b", "c"):
+            assert plan4.value1(node, slot=0) == plan1.value1(node)
+
+    def test_single_slot_catching_rules_unchanged(self):
+        plan1 = plan_catching_rules(triangle(), strategy=1)
+        assert plan1.slots == 1
+        explicit = plan_catching_rules(triangle(), strategy=1, slots=1)
+        for node in ("a", "b", "c"):
+            # Cookies are globally sequential; compare the wire shape.
+            assert [
+                (r.priority, r.match, r.actions)
+                for r in plan1.catching_rules(node)
+            ] == [
+                (r.priority, r.match, r.actions)
+                for r in explicit.catching_rules(node)
+            ]
+
+    def test_catch_rules_cover_every_slot(self):
+        plan = plan_catching_rules(triangle(), strategy=1, slots=3)
+        rules = plan.catching_rules("a")
+        caught = {
+            rule.match.constraint(FieldName.DL_VLAN).value
+            for rule in rules
+        }
+        expected = {
+            plan.value1(node, slot)
+            for node in ("b", "c")
+            for slot in range(3)
+        }
+        assert caught == expected
+
+    def test_own_color_never_caught_at_any_slot(self):
+        plan = plan_catching_rules(triangle(), strategy=1, slots=3)
+        for node in ("a", "b", "c"):
+            caught = {
+                rule.match.constraint(FieldName.DL_VLAN).value
+                for rule in plan.catching_rules(node)
+            }
+            assert not caught & set(plan.probe_values(node))
+
+    def test_strategy2_one_catch_rule_filters_per_slot(self):
+        plan = plan_catching_rules(triangle(), strategy=2, slots=3)
+        rules = plan.catching_rules("a")
+        from repro.core.catching import CATCH_PRIORITY, FILTER_PRIORITY
+
+        catches = [r for r in rules if r.priority == CATCH_PRIORITY]
+        filters = [r for r in rules if r.priority == FILTER_PRIORITY]
+        assert len(catches) == 1
+        assert len(filters) == 3 * 2  # 3 slots x 2 foreign colors
+
+    def test_narrow_field_clamps_slots(self):
+        # DL_VLAN tops out at 0xFFF; base 0xFFC leaves 4 values and the
+        # triangle's stride is 3 -> exactly 1 slot fits.
+        plan = plan_catching_rules(
+            triangle(), strategy=1, base1=0xFFC, slots=8
+        )
+        assert plan.slots == 1
+        for node in ("a", "b", "c"):
+            assert plan.value1(node) <= 0xFFF
+
+    def test_out_of_range_slot_rejected(self):
+        plan = plan_catching_rules(triangle(), strategy=1, slots=2)
+        with pytest.raises(ValueError):
+            plan.value1("a", slot=2)
+
+    def test_bad_slots_rejected(self):
+        with pytest.raises(ValueError):
+            plan_catching_rules(triangle(), slots=0)
+
+
+# ----- windowed steady-state monitoring ---------------------------------
+
+
+def windowed_setup(
+    window,
+    num_rules=20,
+    probe_rate=500.0,
+    seed=3,
+    plan=None,
+    profile=None,
+):
+    sim = Simulator()
+    net = Network(
+        sim,
+        star(4),
+        seed=seed,
+        profiles=profile if profile is not None else OVS,
+    )
+    system = MonocleSystem(
+        net,
+        plan=plan,
+        config=MonitorConfig(
+            probe_rate=probe_rate, probe_window=window
+        ),
+        dynamic=False,
+    )
+    rules = []
+    for i in range(num_rules):
+        leaf = f"leaf{i % 4}"
+        rule = Rule(
+            priority=100,
+            match=Match.build(nw_dst=0x0A000000 + i),
+            actions=output(net.port_toward["hub"][leaf]),
+        )
+        system.preinstall_production_rule("hub", rule)
+        rules.append(rule)
+    return sim, net, system, rules
+
+
+class TestWindowedMonitor:
+    def test_single_window_has_no_pool(self):
+        _sim, _net, system, _rules = windowed_setup(window=1)
+        monitor = system.monitor("hub")
+        assert monitor.value_pool is None
+        assert monitor.window == 1
+        assert monitor.window_clamp == 0
+
+    def test_window_fills_and_probes_confirm(self):
+        sim, _net, system, _rules = windowed_setup(window=4)
+        monitor = system.monitor("hub")
+        assert monitor.window == 4
+        monitor.start_steady_state()
+        sim.run_for(0.5)
+        assert monitor.window_peak == 4
+        assert monitor.probes_confirmed > 0
+        assert monitor.reserved_overflows == 0
+        assert not monitor.alarms
+
+    def test_windowed_drop_detected_no_false_alarms(self):
+        sim, net, system, rules = windowed_setup(window=4, num_rules=40)
+        monitor = system.monitor("hub")
+        monitor.start_steady_state()
+        sim.run_for(0.05)
+        victim = rules[17]
+        assert net.switch("hub").fail_rule_in_dataplane(victim)
+        sim.run_for(0.5)
+        keys = {a.rule.key() for a in monitor.alarms}
+        assert keys == {victim.key()}
+        assert monitor.alarms[0].kind == "missing"
+
+    def test_in_flight_values_distinct(self):
+        sim, _net, system, _rules = windowed_setup(window=8)
+        monitor = system.monitor("hub")
+        monitor.start_steady_state()
+        for _ in range(100):
+            sim.run_for(0.002)
+            live = [
+                p.reserved_value
+                for p in monitor.outstanding.values()
+                if not p.done and p.reserved_value is not None
+            ]
+            assert len(live) == len(set(live))
+            assert set(live) <= set(monitor.value_pool.values)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        window=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_no_reserved_value_sharing(self, window, seed):
+        """In-flight probes of one switch never share a reserved value,
+        at any window depth, under concurrent timeouts (dropped rule)."""
+        sim, net, system, rules = windowed_setup(
+            window=window, num_rules=12, seed=seed
+        )
+        monitor = system.monitor("hub")
+        monitor.start_steady_state()
+        net.switch("hub").fail_rule_in_dataplane(rules[seed % 12])
+        for _ in range(60):
+            sim.run_for(0.005)
+            live = [
+                p.reserved_value
+                for p in monitor.outstanding.values()
+                if not p.done and p.reserved_value is not None
+            ]
+            assert len(live) == len(set(live))
+        # Every slot came back: the pool drains to empty when the
+        # cycle stops.
+        monitor.stop_steady_state()
+        sim.run_for(1.0)
+        assert monitor.value_pool.in_use == 0
+
+    def test_narrow_field_degrades_to_smaller_window(self):
+        """A catch field too narrow for the requested window clamps the
+        effective window — visibly, and without mis-attribution."""
+        # 4 values of headroom / stride 2 on the star -> 2 slots.
+        plan = plan_catching_rules(
+            star(4), strategy=1, base1=0xFFC, slots=8
+        )
+        assert plan.slots == 2
+        sim, net, system, rules = windowed_setup(
+            window=8, num_rules=40, plan=plan
+        )
+        monitor = system.monitor("hub")
+        assert monitor.window == 2
+        assert monitor.window_clamp == 6
+        monitor.start_steady_state()
+        sim.run_for(0.05)
+        victim = rules[11]
+        assert net.switch("hub").fail_rule_in_dataplane(victim)
+        sim.run_for(0.5)
+        keys = {a.rule.key() for a in monitor.alarms}
+        assert keys == {victim.key()}
+        assert monitor.window_peak <= 2
+
+
+# ----- promotion grace (static deployments) -----------------------------
+
+#: An honest switch with a long application window: plenty of room for
+#: a promoted probe to race the install.
+SLOW_HONEST = SwitchProfile(
+    name="slow-honest",
+    flowmod_rate=20000.0,
+    packetout_rate=50000.0,
+    packetin_rate=50000.0,
+    packetin_interference=0.0,
+    install_latency=0.050,
+    install_jitter=0.0,
+    premature_ack=False,
+    reorders=False,
+)
+
+
+def grace_setup(grace):
+    """400 rules at 1000 probes/s: the natural cycle takes 0.4 s, so a
+    rule just *behind* the cursor is only probed inside the switch's
+    50 ms application window if a promotion rushes it there."""
+    sim = Simulator()
+    net = Network(sim, star(4), seed=5, profiles=SLOW_HONEST)
+    system = MonocleSystem(
+        net,
+        config=MonitorConfig(
+            probe_rate=1000.0, promotion_grace=grace
+        ),
+        dynamic=False,
+        probe_policy="churn_first",
+    )
+    rules = []
+    for i in range(400):
+        leaf = f"leaf{i % 4}"
+        rule = Rule(
+            priority=100,
+            match=Match.build(nw_dst=0x0A000000 + i),
+            actions=output(net.port_toward["hub"][leaf]),
+        )
+        system.preinstall_production_rule("hub", rule)
+        rules.append(rule)
+    monitor = system.monitor("hub")
+    monitor.start_steady_state()
+    sim.run_for(0.02)
+    return sim, net, system, rules, monitor
+
+
+def modify_port(net, rule):
+    ports = sorted(net.port_toward["hub"].values())
+    current = next(iter(rule.forwarding_set()))
+    other = next(p for p in ports if p != current)
+    return FlowMod(
+        xid=next_xid(),
+        command=FlowModCommand.MODIFY_STRICT,
+        match=rule.match,
+        priority=rule.priority,
+        actions=output(other),
+    )
+
+
+class TestPromotionGrace:
+    def test_without_grace_promotion_races_install(self):
+        """The race the knob closes: churn_first probes the modified
+        rule inside the switch's application window and alarms on the
+        old data-plane state."""
+        sim, net, system, rules, monitor = grace_setup(grace=False)
+        system.send_to_switch("hub", modify_port(net, rules[5]))
+        sim.run_for(0.3)
+        assert monitor.promotions_held == 0
+        assert any(
+            a.kind == "misbehaving"
+            and a.rule.key() == rules[5].key()
+            for a in monitor.alarms
+        )
+
+    def test_grace_holds_promotion_until_barrier(self):
+        sim, net, system, rules, monitor = grace_setup(grace=True)
+        system.send_to_switch("hub", modify_port(net, rules[5]))
+        assert monitor.promotions_held == 1
+        assert len(monitor._grace_pending) == 1
+        sim.run_for(0.3)
+        # Barrier replied (after the data plane caught up), promotion
+        # released, and the probe saw the *new* state: no alarm.
+        assert not monitor._grace_pending
+        assert not monitor.alarms
+        # The deferred churn touch did land: the scheduler served the
+        # promoted rule.
+        assert monitor.scheduler.stats.scheduler_promotions >= 1
+
+    def test_grace_ignores_deletes(self):
+        sim, net, system, rules, monitor = grace_setup(grace=True)
+        system.send_to_switch(
+            "hub",
+            FlowMod(
+                xid=next_xid(),
+                command=FlowModCommand.DELETE_STRICT,
+                match=rules[3].match,
+                priority=rules[3].priority,
+            ),
+        )
+        assert monitor.promotions_held == 0
+        sim.run_for(0.2)
+        assert not monitor.alarms

@@ -207,6 +207,21 @@ class TestShardedScenarios:
         # envelope delivery (of which there is none here).
         assert s.workers == 4 and s.cut_links > 0 and s.barriers > 0
 
+    def test_pipelined_window_survives_sharding(self):
+        """PR 10 pin: a 4-deep probe window changes the timeline (the
+        cycle speeds up) but sharding must not change it further —
+        ``workers=2, probe_window=4`` is byte-identical to
+        ``workers=1, probe_window=4``."""
+        baseline = run_scenario(_pure_spec(probe_window=4))
+        sharded = run_scenario(_pure_spec(probe_window=4, workers=2))
+        b, s = baseline.metrics, sharded.metrics
+        assert s.alarm_timeline == b.alarm_timeline
+        assert s.probes_sent == b.probes_sent
+        assert s.probes_confirmed == b.probes_confirmed
+        assert not s.false_alarms and not b.false_alarms
+        # The window actually engaged on both sides of the comparison.
+        assert b.window_peak == s.window_peak == 4
+
     def test_workers2_pure_partition_is_barrier_free(self):
         baseline = run_scenario(_pure_spec())
         sharded = run_scenario(_pure_spec(workers=2))
